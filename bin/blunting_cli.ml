@@ -1,0 +1,241 @@
+(* Command-line interface to the reproduction:
+
+     blunting solve -k 2            exact adversary value for ABD^k
+     blunting solve --atomic         exact adversary value, atomic registers
+     blunting figure1 --coin 0 --trace
+     blunting bound -n 3 -r 1 -k 4
+     blunting mc --registers abd -k 2 --trials 1000
+     blunting lin-sweep --object abd --trials 50
+*)
+
+open Cmdliner
+open Util
+
+(* ---- solve ---------------------------------------------------------- *)
+
+let solve_cmd =
+  let k_arg =
+    Arg.(value & opt int 1 & info [ "k" ] ~doc:"Preamble iterations for ABD\\$(b,^k)." ~docv:"K")
+  in
+  let atomic_arg =
+    Arg.(value & flag & info [ "atomic" ] ~doc:"Solve the atomic-register game instead.")
+  in
+  let servers_arg =
+    Arg.(value & opt int 3 & info [ "s"; "servers" ] ~doc:"Number of ABD replicas (>= 3).")
+  in
+  let abd_c_arg =
+    Arg.(value & flag & info [ "abd-c" ] ~doc:"Model register C as ABD too (validates the atomic-C reduction).")
+  in
+  let run k atomic servers abd_c =
+    if atomic then begin
+      let v = Model.Weakener_atomic.bad_probability () in
+      Fmt.pr "weakener with atomic registers:@.";
+      Fmt.pr "  adversary-optimal Prob[p2 loops forever] = %.6f@." v;
+      Fmt.pr "  guaranteed termination probability      = %.6f@." (1.0 -. v)
+    end
+    else begin
+      let v =
+        Model.Weakener_abd.bad_probability ~atomic_c:(not abd_c) ~servers ~k ()
+      in
+      Fmt.pr "weakener with ABD^%d registers (%d replicas%s):@." k servers
+        (if abd_c then ", C as ABD too" else "");
+      Fmt.pr "  adversary-optimal Prob[p2 loops forever] = %.6f@." v;
+      Fmt.pr "  guaranteed termination probability      = %.6f@." (1.0 -. v);
+      Fmt.pr "  Theorem 4.2 upper bound on the former   = %.6f@."
+        (Core.Bound.weakener_instance ~k);
+      Fmt.pr "  explored states                          = %d@."
+        (Model.Weakener_abd.explored_states ())
+    end
+  in
+  let doc = "Solve the exact adversary-vs-coin game of the weakener program." in
+  Cmd.v (Cmd.info "solve" ~doc)
+    Term.(const run $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg)
+
+(* ---- figure1 -------------------------------------------------------- *)
+
+let figure1_cmd =
+  let coin_arg =
+    Arg.(value & opt int 0 & info [ "coin" ] ~doc:"Force the program coin (0 or 1)." ~docv:"COIN")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full execution trace.")
+  in
+  let run coin trace =
+    let t = Adversary.Figure1.run ~coin in
+    if trace then Fmt.pr "%a@.@." Sim.Trace.pp (Sim.Runtime.trace t);
+    let o = Sim.Runtime.outcome t in
+    List.iter
+      (fun tag ->
+        match History.Outcome.find1 o tag with
+        | Some v -> Fmt.pr "%s = %a@." tag Value.pp v
+        | None -> Fmt.pr "%s = ?@." tag)
+      [ Programs.Weakener.tag_u1; Programs.Weakener.tag_u2; Programs.Weakener.tag_c ];
+    Fmt.pr "p2 %s@."
+      (if Programs.Weakener.bad o then "LOOPS FOREVER (adversary wins)"
+       else "terminates")
+  in
+  let doc =
+    "Replay the Figure 1 strong adversary against the simulated ABD weakener."
+  in
+  Cmd.v (Cmd.info "figure1" ~doc) Term.(const run $ coin_arg $ trace_arg)
+
+(* ---- bound ---------------------------------------------------------- *)
+
+let bound_cmd =
+  let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of processes.") in
+  let r_arg = Arg.(value & opt int 1 & info [ "r" ] ~doc:"Program random steps.") in
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Preamble iterations.") in
+  let pa_arg =
+    Arg.(value & opt float 0.5 & info [ "prob-atomic" ] ~doc:"Prob[O_a].")
+  in
+  let pl_arg = Arg.(value & opt float 1.0 & info [ "prob-lin" ] ~doc:"Prob[O].") in
+  let run n r k prob_atomic prob_lin =
+    Fmt.pr "blunting fraction 1 - ((k-r)/k)^(n-1) = %.6f@."
+      (Core.Bound.blunt_fraction ~n ~r ~k);
+    Fmt.pr "Theorem 4.2: Prob[O^k] <= %.6f@."
+      (Core.Bound.theorem_4_2 ~n ~r ~k ~prob_atomic ~prob_lin)
+  in
+  let doc = "Evaluate the Theorem 4.2 blunting bound." in
+  Cmd.v (Cmd.info "bound" ~doc)
+    Term.(const run $ n_arg $ r_arg $ k_arg $ pa_arg $ pl_arg)
+
+(* ---- mc ------------------------------------------------------------- *)
+
+let mc_cmd =
+  let registers_arg =
+    let impl = Arg.enum [ ("atomic", `Atomic); ("abd", `Abd); ("abd-k", `Abd_k) ] in
+    Arg.(value & opt impl `Abd
+         & info [ "registers" ] ~doc:"Register implementation." ~docv:"atomic|abd|abd-k")
+  in
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"k for abd-k.") in
+  let trials_arg = Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Trials.") in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
+  let run registers k trials seed =
+    let config =
+      match registers with
+      | `Atomic -> Programs.Weakener.atomic_config
+      | `Abd -> Programs.Weakener.abd_config
+      | `Abd_k -> fun () -> Programs.Weakener.abd_k_config ~k
+    in
+    let r =
+      Adversary.Monte_carlo.estimate ~trials ~seed
+        ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad config
+    in
+    Fmt.pr "weakener, fair random scheduling: bad = %a@." Adversary.Monte_carlo.pp r
+  in
+  let doc = "Monte-Carlo estimate of the weakener's bad outcome under fair scheduling." in
+  Cmd.v (Cmd.info "mc" ~doc)
+    Term.(const run $ registers_arg $ k_arg $ trials_arg $ seed_arg)
+
+(* ---- lin-sweep ------------------------------------------------------ *)
+
+let lin_sweep_cmd =
+  let obj_arg =
+    let impl =
+      Arg.enum
+        [
+          ("abd", `Abd);
+          ("abd-k", `Abd_k);
+          ("va", `Va);
+          ("il", `Il);
+          ("snapshot", `Snapshot);
+        ]
+    in
+    Arg.(value & opt impl `Abd & info [ "object" ] ~doc:"Which implementation." ~docv:"OBJ")
+  in
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"k for abd-k.") in
+  let trials_arg = Arg.(value & opt int 50 & info [ "trials" ] ~doc:"Random schedules.") in
+  let run obj k trials =
+    let open Sim.Proc.Syntax in
+    let reg_spec = History.Spec.register ~init:(Value.int 0) in
+    let snap_spec = History.Spec.snapshot ~n:3 ~init:(Value.int 0) in
+    let rw o ~self =
+      let call tag meth arg = Sim.Obj_impl.call o ~self ~tag ~meth ~arg in
+      let* _ = call "w1" "write" (Value.int (self + 10)) in
+      let* _ = call "r1" "read" Value.unit in
+      Sim.Proc.return ()
+    in
+    let mk () =
+      match obj with
+      | `Abd ->
+          let o = Objects.Abd.make ~name:"R" ~n:3 ~init:(Value.int 0) in
+          (o, rw o, reg_spec)
+      | `Abd_k ->
+          let o = Objects.Abd.make_k ~k ~name:"R" ~n:3 ~init:(Value.int 0) in
+          (o, rw o, reg_spec)
+      | `Va ->
+          let o = Objects.Vitanyi_awerbuch.make ~name:"R" ~n:3 ~init:(Value.int 0) in
+          (o, rw o, reg_spec)
+      | `Il ->
+          let o = Objects.Israeli_li.make ~name:"R" ~n:3 ~writer:0 ~init:(Value.int 0) in
+          let prog ~self =
+            let call tag meth arg = Sim.Obj_impl.call o ~self ~tag ~meth ~arg in
+            if self = 0 then
+              let* _ = call "w" "write" (Value.int 5) in
+              Sim.Proc.return ()
+            else
+              let* _ = call "r" "read" Value.unit in
+              Sim.Proc.return ()
+          in
+          (o, prog, reg_spec)
+      | `Snapshot ->
+          let o = Objects.Afek_snapshot.make ~name:"S" ~n:3 ~init:(Value.int 0) in
+          let prog ~self =
+            let call tag meth arg = Sim.Obj_impl.call o ~self ~tag ~meth ~arg in
+            let* _ = call "u" "update" (Value.pair (Value.int self) (Value.int self)) in
+            let* _ = call "s" "scan" Value.unit in
+            Sim.Proc.return ()
+          in
+          (o, prog, snap_spec)
+    in
+    let ok = ref 0 in
+    for seed = 1 to trials do
+      let o, program, spec = mk () in
+      let config =
+        {
+          Sim.Runtime.n = 3;
+          objects = [ o ];
+          program;
+          enable_crashes = false;
+          max_crashes = 0;
+        }
+      in
+      let rng = Rng.of_int seed in
+      let t = Sim.Runtime.create config (Sim.Runtime.Gen (Rng.split rng)) in
+      (match Sim.Runtime.run t ~max_steps:1_000_000 (fun _ evs -> Rng.pick rng evs) with
+      | Sim.Runtime.Completed ->
+          if Lin.Check.check spec (Sim.Runtime.history t) then incr ok
+      | _ -> ())
+    done;
+    Fmt.pr "linearizable histories: %d / %d@." !ok trials
+  in
+  let doc = "Check linearizability of an implementation over random schedules." in
+  Cmd.v (Cmd.info "lin-sweep" ~doc) Term.(const run $ obj_arg $ k_arg $ trials_arg)
+
+(* ---- ghw ------------------------------------------------------------ *)
+
+let ghw_cmd =
+  let k_arg =
+    Arg.(value & opt int 1 & info [ "k" ] ~doc:"Preamble iterations for Snapshot^k.")
+  in
+  let run k =
+    Fmt.pr "snapshot weakener, adversary-optimal Prob[bad]:@.";
+    Fmt.pr "  atomic snapshot:  %.6f@."
+      (Model.Ghw_snapshot_game.atomic_bad_probability ());
+    Fmt.pr "  Afek snapshot^%d:  %.6f@." k
+      (Model.Ghw_snapshot_game.afek_bad_probability ~k)
+  in
+  let doc = "Solve the exact snapshot-weakener game (atomic vs Afek^k)." in
+  Cmd.v (Cmd.info "ghw" ~doc) Term.(const run $ k_arg)
+
+(* ---- main ----------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "Blunting an adversary against randomized concurrent programs (PODC 2022 \
+     reproduction)."
+  in
+  let info = Cmd.info "blunting" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ solve_cmd; figure1_cmd; bound_cmd; mc_cmd; lin_sweep_cmd; ghw_cmd ]))

@@ -1,0 +1,41 @@
+(** The strong adversary of Figure 1 / Appendix A.2, replayed against the
+    {e real} simulated ABD implementation.
+
+    The adversary drives the weakener program (Algorithm 1, both registers
+    implemented with plain ABD) so that [p2] passes the test at line 7 and
+    loops forever, {e whatever} the coin returns:
+
+    - shared prefix (independent of the coin): [p0]'s Write(0) obtains one
+      query reply (from itself, still ⊥); [p1]'s Write(1) completes its
+      query phase and broadcasts its update with timestamp (1,1); [p2]'s
+      first Read obtains one query reply from server 0 {e before} [p1]'s
+      update reaches it; [p1]'s update is delivered to servers 0 and 1 and
+      its Write completes; [p1] flips the coin and writes [C];
+
+    - coin = 0: [p0]'s second reply comes from the still-⊥ server 2, so its
+      Write uses timestamp (1,0); the update reaches server 2; [p2]'s
+      second reply comes from server 2 carrying (0,(1,0)), so the first
+      Read returns 0; the second Read queries servers 0 and 1, both
+      holding (1,(1,1)), and returns 1;
+
+    - coin = 1: [p0]'s second reply comes from server 1 carrying (1,(1,1)),
+      so its Write uses timestamp (2,0); [p2]'s second reply also comes
+      from server 1, so the first Read returns 1; [p0]'s update (0,(2,0))
+      then reaches every server, and the second Read returns 0.
+
+    Because the two branches share their schedule up to (and including) the
+    coin flip, the script is a legitimate strong adversary (Section 2.4).
+
+    This is the machine-checked counterpart of the paper's claim that the
+    termination probability of [p2] is 0 with plain ABD. *)
+
+(** [run ~coin] executes the full scripted attack with the program coin
+    forced to [coin] (0 or 1) and returns the finished runtime. Raises
+    [Failure] if any scripted event is impossible (i.e. the ABD
+    implementation diverged from Algorithm 3's message flow). *)
+val run : coin:int -> Sim.Runtime.t
+
+(** [always_wins ()] replays both branches and checks that the outcome is
+    bad — [u1 = c] and [u2 = 1 - c] — in each: the adversary forces
+    non-termination with probability 1. *)
+val always_wins : unit -> bool

@@ -1,0 +1,31 @@
+open Util
+
+type result = {
+  trials : int;
+  bad : int;
+  fraction : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+let estimate ~trials ~seed ~scheduler ~bad mk_config =
+  let master = Rng.of_int seed in
+  let bad_count = ref 0 in
+  for _ = 1 to trials do
+    let sched_rng = Rng.split master in
+    let tape_rng = Rng.split master in
+    let t = Sim.Runtime.create (mk_config ()) (Sim.Runtime.Gen tape_rng) in
+    (match Sim.Runtime.run t ~max_steps:1_000_000 (scheduler sched_rng) with
+    | Sim.Runtime.Completed ->
+        if bad (Sim.Runtime.outcome t) then incr bad_count
+    | Sim.Runtime.Deadlocked -> failwith "Monte_carlo.estimate: deadlock"
+    | Sim.Runtime.Step_limit_reached ->
+        failwith "Monte_carlo.estimate: step limit reached");
+  done;
+  let fraction = Stats.fraction ~successes:!bad_count ~trials in
+  let ci_low, ci_high = Stats.binomial_ci ~successes:!bad_count ~trials in
+  { trials; bad = !bad_count; fraction; ci_low; ci_high }
+
+let pp ppf r =
+  Fmt.pf ppf "%d/%d = %.4f [%.4f, %.4f]" r.bad r.trials r.fraction r.ci_low
+    r.ci_high

@@ -1,0 +1,23 @@
+(** Monte-Carlo estimation of bad-outcome probabilities on the simulator. *)
+
+type result = {
+  trials : int;
+  bad : int;
+  fraction : float;
+  ci_low : float;  (** 95% Wilson interval *)
+  ci_high : float;
+}
+
+(** [estimate ~trials ~seed ~scheduler ~bad mk_config] runs [trials]
+    independent executions of freshly built configurations (so object state
+    never leaks between trials) under the given scheduler factory, and
+    counts outcomes satisfying [bad]. *)
+val estimate :
+  trials:int ->
+  seed:int ->
+  scheduler:(Util.Rng.t -> Schedulers.t) ->
+  bad:(History.Outcome.t -> bool) ->
+  (unit -> Sim.Runtime.config) ->
+  result
+
+val pp : Format.formatter -> result -> unit

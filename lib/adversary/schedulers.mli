@@ -1,0 +1,23 @@
+(** Schedulers: adversaries as functions from the full runtime state (strong
+    adversaries observe everything, including past random results) and the
+    enabled events to a choice. *)
+
+type t = Sim.Runtime.t -> Sim.Runtime.event list -> Sim.Runtime.event
+
+(** [uniform rng] picks uniformly among enabled events — a probabilistically
+    fair, non-adversarial baseline. *)
+val uniform : Util.Rng.t -> t
+
+(** [round_robin ()] cycles through processes, delivering the oldest
+    in-transit message when the favoured process is blocked. Stateful;
+    create one per run. *)
+val round_robin : unit -> t
+
+(** [eager_delivery] always prefers delivering the oldest in-transit message,
+    else steps the lowest-id runnable process: produces almost-sequential
+    executions. *)
+val eager_delivery : t
+
+(** [prefer_process p fallback] steps [p] whenever possible, otherwise
+    defers to [fallback] — a starvation-style adversary building block. *)
+val prefer_process : int -> t -> t

@@ -1,0 +1,32 @@
+let blunt_fraction ~n ~r ~k =
+  if n < 1 || r < 1 || k < 1 then
+    invalid_arg "Bound.blunt_fraction: n, r, k must be >= 1";
+  let ratio = float_of_int (max 0 (k - r)) /. float_of_int k in
+  1.0 -. (ratio ** float_of_int (n - 1))
+
+let theorem_4_2 ~n ~r ~k ~prob_atomic ~prob_lin =
+  if not (0.0 <= prob_atomic && prob_atomic <= prob_lin && prob_lin <= 1.0) then
+    invalid_arg "Bound.theorem_4_2: need 0 <= prob_atomic <= prob_lin <= 1";
+  prob_atomic +. (blunt_fraction ~n ~r ~k *. (prob_lin -. prob_atomic))
+
+let min_k_for ~n ~r ~epsilon =
+  if epsilon <= 0.0 then invalid_arg "Bound.min_k_for: epsilon must be positive";
+  let rec go k =
+    if blunt_fraction ~n ~r ~k <= epsilon then k
+    else if k > 1_000_000_000 then
+      invalid_arg "Bound.min_k_for: epsilon unreachable"
+    else go (k * 2)
+  in
+  let hi = go 1 in
+  (* binary search the least k in (hi/2, hi] *)
+  let rec bisect lo hi =
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if blunt_fraction ~n ~r ~k:mid <= epsilon then bisect lo mid
+      else bisect (mid + 1) hi
+  in
+  bisect 1 hi
+
+let weakener_instance ~k =
+  theorem_4_2 ~n:3 ~r:1 ~k ~prob_atomic:0.5 ~prob_lin:1.0

@@ -1,0 +1,35 @@
+(** The quantitative blunting bound (Theorem 4.2).
+
+    For a program with [n >= 1] processes and at most [r >= 1] program
+    random steps, using tail strongly linearizable objects [O] with
+    effect-free preambles:
+
+    {[ Prob[O^k] <= Prob[O_a]
+         + (1 - (max(0, k - r) / k)^(n-1)) * (Prob[O] - Prob[O_a]) ]}
+
+    where [Prob[O_a]] is the bad-outcome probability with atomic objects and
+    [Prob[O]] with the original linearizable ones. The fraction is an upper
+    bound on the probability that the adversary manages to overlap a program
+    random step with every chosen preamble iteration (Lemma 4.5). *)
+
+(** [blunt_fraction ~n ~r ~k] is [1 - (max(0, k - r)/k)^(n-1)], the bracketed
+    factor. It is 1 when [k <= r] (no blunting guarantee) and decreases to 0
+    as [k] grows. Requires [n >= 1], [r >= 1], [k >= 1]. *)
+val blunt_fraction : n:int -> r:int -> k:int -> float
+
+(** [theorem_4_2 ~n ~r ~k ~prob_atomic ~prob_lin] is the right-hand side of
+    the bound. Requires [0 <= prob_atomic <= prob_lin <= 1]. *)
+val theorem_4_2 :
+  n:int -> r:int -> k:int -> prob_atomic:float -> prob_lin:float -> float
+
+(** [min_k_for ~n ~r ~epsilon] is the smallest [k] such that the bound's
+    excess over [prob_atomic] is at most [epsilon * (prob_lin - prob_atomic)],
+    i.e. [blunt_fraction <= epsilon]. *)
+val min_k_for : n:int -> r:int -> epsilon:float -> int
+
+(** [weakener_instance ~k] instantiates the bound for the weakener program
+    of Algorithm 1 ([n = 3], [r = 1], [Prob\[O_a\] = 1/2], [Prob\[O\] = 1]):
+    the upper bound on the probability that [p2] loops forever with
+    [ABD^k]. For [k = 2] this is 7/8, matching Appendix A.3.1's "terminates
+    with probability at least 1/8". *)
+val weakener_instance : k:int -> float

@@ -1,0 +1,24 @@
+let recommended_k ~rounds ~steps_per_round =
+  if rounds < 1 || steps_per_round < 1 then
+    invalid_arg "Round_based.recommended_k: rounds and steps_per_round >= 1";
+  (rounds * steps_per_round) + 1
+
+let suffix = "!plain"
+let plain m = m ^ suffix
+
+let strip m =
+  if String.length m > String.length suffix
+     && String.sub m (String.length m - String.length suffix) (String.length suffix)
+        = suffix
+  then Some (String.sub m 0 (String.length m - String.length suffix))
+  else None
+
+let invoke_with_fallback ~k (split : Objects.Transform.split) ~self ~meth ~arg =
+  match strip meth with
+  | Some base -> Objects.Transform.base_invoke split ~self ~meth:base ~arg
+  | None -> Objects.Transform.iterated_invoke ~k split ~self ~meth ~arg
+
+let abd ~k ~name ~n ~init : Sim.Obj_impl.t =
+  let transformed = Objects.Abd.make_k ~k ~name ~n ~init in
+  let split = Objects.Abd.split ~name ~n in
+  { transformed with invoke = invoke_with_fallback ~k split }

@@ -1,0 +1,36 @@
+(** The round-based mitigation sketched in Section 7 of the paper.
+
+    Many randomized programs are round-based: each process takes at most [s]
+    random steps per round and the program terminates with high probability
+    within [T] rounds. Applying the preamble-iterating transformation with
+    [k > T * s] blunts the adversary for the whole high-probability window;
+    if the program has not terminated after [T] rounds it simply continues
+    with the original linearizable object (same instance, same state), whose
+    operations are cheaper.
+
+    The switch is realized at the method-name level: the transformed invoke
+    built by {!invoke_with_fallback} runs the [k]-iterated body for a method
+    [m] and the original single-preamble body for [m ^ "!plain"], so a
+    program can downgrade mid-run without changing object instances. *)
+
+(** [recommended_k ~rounds ~steps_per_round] is [T * s + 1], the smallest
+    [k] exceeding the number of random steps in the window (Section 7). *)
+val recommended_k : rounds:int -> steps_per_round:int -> int
+
+(** [plain m] is the method name that routes to the untransformed body. *)
+val plain : string -> string
+
+(** [invoke_with_fallback ~k split] dispatches between Algorithm 2's [M^k]
+    and the original [M] according to the method-name convention above. *)
+val invoke_with_fallback :
+  k:int ->
+  Objects.Transform.split ->
+  self:int ->
+  meth:string ->
+  arg:Util.Value.t ->
+  Util.Value.t Sim.Proc.t
+
+(** [abd ~k ~name ~n ~init] is an ABD register exposing ["read"]/["write"]
+    (transformed, [k] iterations) and ["read!plain"]/["write!plain"]
+    (original) on the same replicated state. *)
+val abd : k:int -> name:string -> n:int -> init:Util.Value.t -> Sim.Obj_impl.t

@@ -1,0 +1,84 @@
+type t = Action.t list
+
+type op = {
+  call : Action.call;
+  ret : Util.Value.t option;
+  call_index : int;
+  ret_index : int option;
+}
+
+let ops h =
+  let rets = Hashtbl.create 16 in
+  List.iteri
+    (fun i a ->
+      match a with
+      | Action.Ret r -> Hashtbl.replace rets r.inv (r.value, i)
+      | Action.Call _ -> ())
+    h;
+  let collect i a acc =
+    match a with
+    | Action.Call c ->
+        let ret, ret_index =
+          match Hashtbl.find_opt rets c.inv with
+          | Some (v, j) -> (Some v, Some j)
+          | None -> (None, None)
+        in
+        { call = c; ret; call_index = i; ret_index } :: acc
+    | Action.Ret _ -> acc
+  in
+  List.rev (List.fold_left (fun (i, acc) a -> (i + 1, collect i a acc)) (0, []) h |> snd)
+
+let pending h = List.filter (fun o -> o.ret = None) (ops h)
+
+let complete h =
+  let pending_invs =
+    List.filter_map (fun o -> if o.ret = None then Some o.call.inv else None) (ops h)
+  in
+  List.filter
+    (fun a ->
+      match a with
+      | Action.Call c -> not (List.mem c.inv pending_invs)
+      | Action.Ret _ -> true)
+    h
+
+let project_obj h name = List.filter (fun a -> Action.obj_name a = name) h
+let project_proc h p = List.filter (fun a -> Action.proc a = p) h
+
+let well_formed h =
+  let seen_call = Hashtbl.create 16 and seen_ret = Hashtbl.create 16 in
+  let pending_of_proc = Hashtbl.create 16 in
+  let step ok a =
+    ok
+    &&
+    match a with
+    | Action.Call c ->
+        if Hashtbl.mem seen_call c.inv then false
+        else if Hashtbl.mem pending_of_proc c.proc then false
+        else begin
+          Hashtbl.replace seen_call c.inv ();
+          Hashtbl.replace pending_of_proc c.proc c.inv;
+          true
+        end
+    | Action.Ret r ->
+        if (not (Hashtbl.mem seen_call r.inv)) || Hashtbl.mem seen_ret r.inv then false
+        else if Hashtbl.find_opt pending_of_proc r.proc <> Some r.inv then false
+        else begin
+          Hashtbl.replace seen_ret r.inv ();
+          Hashtbl.remove pending_of_proc r.proc;
+          true
+        end
+  in
+  List.fold_left step true h
+
+let is_sequential h =
+  let rec go = function
+    | [] -> true
+    | Action.Call c :: Action.Ret r :: rest -> r.inv = c.inv && go rest
+    | _ -> false
+  in
+  go h
+
+let precedes _h a b =
+  match a.ret_index with Some i -> i < b.call_index | None -> false
+
+let pp ppf h = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Action.pp) h

@@ -1,0 +1,34 @@
+module Key = struct
+  type t = string * int
+
+  let compare = compare
+end
+
+module M = Map.Make (Key)
+
+type t = Util.Value.t M.t
+
+let empty = M.empty
+let record t ~tag ~occurrence v = M.add (tag, occurrence) v t
+let find t ~tag ~occurrence = M.find_opt (tag, occurrence) t
+let find1 t tag = find t ~tag ~occurrence:0
+
+let of_history h =
+  let counts = Hashtbl.create 16 in
+  let next tag =
+    let c = Option.value ~default:0 (Hashtbl.find_opt counts tag) in
+    Hashtbl.replace counts tag (c + 1);
+    c
+  in
+  List.fold_left
+    (fun acc (op : Hist.op) ->
+      match op.ret with
+      | None -> acc
+      | Some v -> record acc ~tag:op.call.tag ~occurrence:(next op.call.tag) v)
+    empty (Hist.ops h)
+
+let bindings = M.bindings
+
+let pp ppf t =
+  let item ppf ((tag, occ), v) = Fmt.pf ppf "%s/%d = %a" tag occ Util.Value.pp v in
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") item) (bindings t)

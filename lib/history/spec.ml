@@ -1,0 +1,77 @@
+open Util
+
+type t = {
+  name : string;
+  init : Value.t;
+  apply : Value.t -> meth:string -> arg:Value.t -> (Value.t * Value.t) option;
+}
+
+let run t ops =
+  let step acc (meth, arg) =
+    match acc with
+    | None -> None
+    | Some (state, rets) -> (
+        match t.apply state ~meth ~arg with
+        | Some (state', ret) -> Some (state', ret :: rets)
+        | None -> None)
+  in
+  match List.fold_left step (Some (t.init, [])) ops with
+  | Some (state, rets) -> Some (state, List.rev rets)
+  | None -> None
+
+let register ~init =
+  {
+    name = "register";
+    init;
+    apply =
+      (fun state ~meth ~arg ->
+        match meth with
+        | "read" -> Some (state, state)
+        | "write" -> Some (arg, Value.unit)
+        | _ -> None);
+  }
+
+let snapshot ~n ~init =
+  {
+    name = "snapshot";
+    init = Value.list (List.init n (fun _ -> init));
+    apply =
+      (fun state ~meth ~arg ->
+        let cells = Value.to_list state in
+        match meth with
+        | "scan" -> Some (state, state)
+        | "update" ->
+            let idx, v = Value.to_pair arg in
+            let i = Value.to_int idx in
+            if i < 0 || i >= n then None
+            else
+              let cells' = List.mapi (fun j c -> if j = i then v else c) cells in
+              Some (Value.list cells', Value.unit)
+        | _ -> None);
+  }
+
+let max_register =
+  {
+    name = "max_register";
+    init = Value.int 0;
+    apply =
+      (fun state ~meth ~arg ->
+        match meth with
+        | "read" -> Some (state, state)
+        | "write" ->
+            let v = Value.to_int arg and cur = Value.to_int state in
+            Some (Value.int (max cur v), Value.unit)
+        | _ -> None);
+  }
+
+let counter =
+  {
+    name = "counter";
+    init = Value.int 0;
+    apply =
+      (fun state ~meth ~arg:_ ->
+        match meth with
+        | "read" -> Some (state, state)
+        | "inc" -> Some (Value.int (Value.to_int state + 1), Value.unit)
+        | _ -> None);
+  }

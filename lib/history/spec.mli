@@ -1,0 +1,37 @@
+(** Sequential specifications.
+
+    A specification is a deterministic abstract machine: applying a method to
+    an abstract state yields the successor state and the return value. A
+    history is linearizable w.r.t. a specification iff some permutation of its
+    completed operations (plus possibly some pending ones) replays through the
+    machine with matching return values while respecting real-time order. *)
+
+type t = {
+  name : string;
+  init : Util.Value.t;  (** initial abstract state *)
+  apply : Util.Value.t -> meth:string -> arg:Util.Value.t -> (Util.Value.t * Util.Value.t) option;
+      (** [apply state ~meth ~arg] is [Some (state', ret)], or [None] when the
+          method/argument is not part of the object's interface. *)
+}
+
+(** [run t ops] replays a sequential history, returning the final state and
+    the produced return values; [None] if some call is illegal. *)
+val run : t -> (string * Util.Value.t) list -> (Util.Value.t * Util.Value.t list) option
+
+(** {1 Standard specifications} *)
+
+(** Read/write register initialised to [init]. Methods: ["read"] (arg
+    ignored) and ["write"] (returns [Unit]). *)
+val register : init:Util.Value.t -> t
+
+(** [n]-component snapshot object initialised to [init] everywhere. Methods:
+    ["update"] with argument [Pair (Int i, v)] and ["scan"] returning the
+    [List] of components. *)
+val snapshot : n:int -> init:Util.Value.t -> t
+
+(** Max-register over integers. Methods: ["read"] and ["write"] with an
+    [Int] argument. *)
+val max_register : t
+
+(** Monotone counter. Methods: ["inc"] and ["read"]. *)
+val counter : t

@@ -1,0 +1,118 @@
+open Util
+
+type op_info = {
+  inv : int;
+  meth : string;
+  arg : Value.t;
+  value : Value.t;
+  ts : Value.t;
+  returned : bool;
+}
+
+let calls_of ~obj_name entries =
+  List.filter_map
+    (function
+      | Sim.Trace.Action (History.Action.Call c) when c.obj_name = obj_name ->
+          Some c
+      | _ -> None)
+    entries
+
+let ops_of_entries ~obj_name entries =
+  let returned inv =
+    List.exists
+      (function
+        | Sim.Trace.Action (History.Action.Ret r) -> r.inv = inv
+        | _ -> false)
+      entries
+  in
+  let adopted inv =
+    List.find_map
+      (function
+        | Sim.Trace.Noted { name = "adopted"; value; inv = Some i; _ } when i = inv
+          ->
+            Some (Value.to_pair value)
+        | _ -> None)
+      entries
+  in
+  List.filter_map
+    (fun (c : History.Action.call) ->
+      match adopted c.inv with
+      | None -> None
+      | Some (value, ts) ->
+          Some
+            {
+              inv = c.inv;
+              meth = c.meth;
+              arg = c.arg;
+              value;
+              ts;
+              returned = returned c.inv;
+            })
+    (calls_of ~obj_name entries)
+
+let complete ~obj_name entries =
+  let with_ts = ops_of_entries ~obj_name entries in
+  List.for_all
+    (fun (c : History.Action.call) -> List.exists (fun o -> o.inv = c.inv) with_ts)
+    (calls_of ~obj_name entries)
+
+let logically_completed ops =
+  let max_returned_ts =
+    List.fold_left
+      (fun acc o ->
+        if o.returned then
+          match acc with
+          | None -> Some o.ts
+          | Some t -> if Value.ts_compare o.ts t > 0 then Some o.ts else acc
+        else acc)
+      None ops
+  in
+  match max_returned_ts with
+  | None -> []
+  | Some t -> List.filter (fun o -> Value.ts_compare o.ts t <= 0) ops
+
+let order a b =
+  let c = Value.ts_compare a.ts b.ts in
+  if c <> 0 then c
+  else
+    let kind o = if o.meth = "write" then 0 else 1 in
+    let c = compare (kind a) (kind b) in
+    if c <> 0 then c else compare a.inv b.inv
+
+let linearize ~obj_name entries : Check.linearization =
+  let ops = logically_completed (ops_of_entries ~obj_name entries) in
+  List.map
+    (fun o ->
+      {
+        Check.inv = o.inv;
+        meth = o.meth;
+        arg = o.arg;
+        ret = (if o.meth = "read" then o.value else Value.unit);
+      })
+    (List.sort order ops)
+
+let is_prefix_of short long =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | (a : Check.lin_step) :: ra, (b : Check.lin_step) :: rb ->
+        a.inv = b.inv && Value.equal a.ret b.ret && go (ra, rb)
+  in
+  go (short, long)
+
+let prefix_preserving ~obj_name trace =
+  let entries = Sim.Trace.entries trace in
+  let len = List.length entries in
+  let prefix i = List.filteri (fun j _ -> j < i) entries in
+  let complete_prefixes =
+    List.filter_map
+      (fun i ->
+        let p = prefix i in
+        if complete ~obj_name p then Some (linearize ~obj_name p) else None)
+      (List.init (len + 1) Fun.id)
+  in
+  let rec chain = function
+    | a :: (b :: _ as rest) -> is_prefix_of a b && chain rest
+    | [ _ ] | [] -> true
+  in
+  chain complete_prefixes

@@ -1,0 +1,41 @@
+(** The explicit linearization function of Theorem 5.1 for ABD executions.
+
+    The timestamp of a Read is the timestamp returned by its (chosen) query
+    phase; the timestamp of a Write is the one it sends in its update phase.
+    An invocation is {e logically completed} in an execution [e] when some
+    invocation with a greater-or-equal timestamp has returned in [e]. The
+    function [f] maps [e] to the sequence of logically-completed invocations
+    sorted by (timestamp, writes-before-reads, invocation id) — a valid
+    linearization that Theorem 5.1 proves prefix-preserving on executions
+    complete w.r.t. Π_ABD.
+
+    Timestamps are read off the ["adopted"] trace notes our ABD emits as the
+    first tail step (one local step after the paper's Π point; no effectful
+    step separates them, so the prefix-preservation property is the same). *)
+
+type op_info = {
+  inv : int;
+  meth : string;
+  arg : Util.Value.t;
+  value : Util.Value.t;  (** the value read (Read) or written (Write) *)
+  ts : Util.Value.t;  (** the adopted timestamp *)
+  returned : bool;
+}
+
+(** [ops_of_entries ~obj_name entries] extracts, from a trace-entry prefix,
+    every invocation of [obj_name] that adopted a timestamp. *)
+val ops_of_entries : obj_name:string -> Sim.Trace.entry list -> op_info list
+
+(** [complete ~obj_name entries] holds when every invocation of [obj_name]
+    called in the prefix has adopted a timestamp (the Π_ABD-completeness of
+    the prefix, up to the one-local-step shift described above). *)
+val complete : obj_name:string -> Sim.Trace.entry list -> bool
+
+(** [linearize ~obj_name entries] is f(e): the logically-completed
+    invocations in timestamp order, as checker linearization steps. *)
+val linearize : obj_name:string -> Sim.Trace.entry list -> Check.linearization
+
+(** [prefix_preserving ~obj_name trace] checks Theorem 5.1 on one execution:
+    for every pair of Π-complete prefixes p1 ⊑ p2 of the trace,
+    f(p1) is a prefix of f(p2). *)
+val prefix_preserving : obj_name:string -> Sim.Trace.t -> bool

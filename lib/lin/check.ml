@@ -1,0 +1,148 @@
+open Util
+open History
+
+type lin_step = { inv : Action.inv_id; meth : string; arg : Value.t; ret : Value.t }
+type linearization = lin_step list
+
+let pp_step ppf s =
+  Fmt.pf ppf "%s(%a)#%d->%a" s.meth Value.pp s.arg s.inv Value.pp s.ret
+
+let pp_linearization ppf l =
+  Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp_step) l
+
+(* An operation may be linearized next only when every operation that
+   returned before its call is already linearized. *)
+let is_minimal (ops : Hist.op list) chosen (o : Hist.op) =
+  List.for_all
+    (fun (o' : Hist.op) ->
+      List.mem o'.call.inv chosen
+      || not (match o'.ret_index with Some r -> r < o.call_index | None -> false))
+    ops
+
+let key chosen state = (List.sort compare chosen, state)
+
+(* Generic DFS. [emit] is called with (reversed steps, chosen, state) whenever
+   all completed operations are linearized; it returns [true] to stop. *)
+let search (spec : Spec.t) (h : Hist.t) ~init_steps ~init_chosen ~init_state ~emit =
+  let ops = Hist.ops h in
+  let completed = List.filter (fun (o : Hist.op) -> o.ret <> None) ops in
+  let failed = Hashtbl.create 97 in
+  let rec dfs steps chosen state =
+    let all_done =
+      List.for_all (fun (o : Hist.op) -> List.mem o.call.inv chosen) completed
+    in
+    if all_done && emit (steps, chosen, state) then true
+    else begin
+      let k = key chosen state in
+      if Hashtbl.mem failed k then false
+      else begin
+        let try_op (o : Hist.op) =
+          (not (List.mem o.call.inv chosen))
+          && is_minimal ops chosen o
+          &&
+          match spec.apply state ~meth:o.call.meth ~arg:o.call.arg with
+          | None -> false
+          | Some (state', ret) -> (
+              match o.ret with
+              | Some expected when not (Value.equal expected ret) -> false
+              | _ ->
+                  let step =
+                    { inv = o.call.inv; meth = o.call.meth; arg = o.call.arg; ret }
+                  in
+                  dfs (step :: steps) (o.call.inv :: chosen) state')
+        in
+        let found = List.exists try_op ops in
+        if not found then Hashtbl.replace failed k ();
+        found
+      end
+    end
+  in
+  dfs init_steps init_chosen init_state
+
+let find spec h =
+  let witness = ref None in
+  let emit (steps, _chosen, _state) =
+    witness := Some (List.rev steps);
+    true
+  in
+  if search spec h ~init_steps:[] ~init_chosen:[] ~init_state:spec.init ~emit then
+    !witness
+  else None
+
+let check spec h = find spec h <> None
+
+(* Replay a proposed prefix, checking feasibility. Returns the chosen
+   invocations and resulting state, or None. *)
+let replay_prefix (spec : Spec.t) (h : Hist.t) prefix =
+  let ops = Hist.ops h in
+  let find_op inv = List.find_opt (fun (o : Hist.op) -> o.call.inv = inv) ops in
+  let step acc (s : lin_step) =
+    match acc with
+    | None -> None
+    | Some (chosen, state) -> (
+        match find_op s.inv with
+        | None -> None
+        | Some o ->
+            if List.mem s.inv chosen then None
+            else if o.call.meth <> s.meth || not (Value.equal o.call.arg s.arg) then
+              None
+            else if not (is_minimal ops chosen o) then None
+            else
+              (match spec.apply state ~meth:s.meth ~arg:s.arg with
+              | None -> None
+              | Some (state', ret) ->
+                  if not (Value.equal ret s.ret) then None
+                  else
+                    (match o.ret with
+                    | Some expected when not (Value.equal expected ret) -> None
+                    | _ -> Some (s.inv :: chosen, state'))))
+  in
+  List.fold_left step (Some ([], spec.init)) prefix
+
+let validate spec h lin =
+  match replay_prefix spec h lin with
+  | None -> false
+  | Some (chosen, _) ->
+      let completed = List.filter (fun (o : Hist.op) -> o.ret <> None) (Hist.ops h) in
+      List.for_all (fun (o : Hist.op) -> List.mem o.call.inv chosen) completed
+
+let linearizations_extending (spec : Spec.t) (h : Hist.t) prefix : linearization Seq.t =
+  match replay_prefix spec h prefix with
+  | None -> Seq.empty
+  | Some (chosen0, state0) ->
+      let ops = Hist.ops h in
+      let completed = List.filter (fun (o : Hist.op) -> o.ret <> None) ops in
+      (* lazy DFS producing every valid extension of the prefix *)
+      let rec gen steps chosen state () =
+        let here =
+          if
+            List.for_all (fun (o : Hist.op) -> List.mem o.call.inv chosen) completed
+          then Seq.return (prefix @ List.rev steps)
+          else Seq.empty
+        in
+        let deeper =
+          List.to_seq ops
+          |> Seq.concat_map (fun (o : Hist.op) ->
+                 if List.mem o.call.inv chosen then Seq.empty
+                 else if not (is_minimal ops chosen o) then Seq.empty
+                 else
+                   match spec.apply state ~meth:o.call.meth ~arg:o.call.arg with
+                   | None -> Seq.empty
+                   | Some (state', ret) -> (
+                       match o.ret with
+                       | Some expected when not (Value.equal expected ret) ->
+                           Seq.empty
+                       | _ ->
+                           let step =
+                             {
+                               inv = o.call.inv;
+                               meth = o.call.meth;
+                               arg = o.call.arg;
+                               ret;
+                             }
+                           in
+                           gen (step :: steps) (o.call.inv :: chosen) state'))
+        in
+        Seq.append here deeper ()
+      in
+      gen [] chosen0 state0

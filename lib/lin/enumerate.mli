@@ -1,0 +1,21 @@
+(** Bounded exhaustive enumeration of executions.
+
+    Builds the prefix tree of {e all} executions of a configuration, by
+    branching on every enabled event (and on every outcome of every random
+    step). Each node carries the history of the corresponding execution
+    prefix and whether that prefix is complete w.r.t. a preamble mapping.
+
+    Enumeration replays from the root for every node, so it is only meant
+    for tiny configurations (a handful of operations on shared-memory
+    objects); [max_nodes] caps the tree size. *)
+
+exception Too_large
+
+(** [tree ?max_nodes ~preamble_map config] enumerates until every execution
+    terminates. Raises [Too_large] past [max_nodes] (default 200_000). *)
+val tree :
+  ?max_nodes:int -> preamble_map:Preamble_map.t -> Sim.Runtime.config -> Tree.node
+
+(** [executions ?max_nodes config] lists the traces of all maximal
+    executions (the tree's leaves). *)
+val executions : ?max_nodes:int -> Sim.Runtime.config -> Sim.Trace.t list

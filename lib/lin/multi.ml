@@ -1,0 +1,59 @@
+open Util
+open History
+
+let known specs h =
+  List.for_all
+    (fun (o : Hist.op) -> List.mem_assoc o.call.obj_name specs)
+    (Hist.ops h)
+
+let check_local specs h =
+  known specs h
+  && List.for_all
+       (fun (name, spec) -> Check.check spec (Hist.project_obj h name))
+       specs
+
+(* The product specification: abstract state is the list of component
+   states in [specs] order; methods are dispatched by prefixing the object
+   name, which we encode by rewriting the history's method names. *)
+let check_monolithic specs h =
+  known specs h
+  &&
+  let product : Spec.t =
+    {
+      name = "product";
+      init = Value.list (List.map (fun (_, (s : Spec.t)) -> s.init) specs);
+      apply =
+        (fun state ~meth ~arg ->
+          match String.index_opt meth '/' with
+          | None -> None
+          | Some i ->
+              let obj = String.sub meth 0 i in
+              let m = String.sub meth (i + 1) (String.length meth - i - 1) in
+              let rec go names states =
+                match (names, states) with
+                | (name, (spec : Spec.t)) :: names', st :: states' ->
+                    if name = obj then
+                      match spec.apply st ~meth:m ~arg with
+                      | Some (st', ret) -> Some (st' :: states', ret)
+                      | None -> None
+                    else begin
+                      match go names' states' with
+                      | Some (rest, ret) -> Some (st :: rest, ret)
+                      | None -> None
+                    end
+                | _ -> None
+              in
+              (match go specs (Value.to_list state) with
+              | Some (states', ret) -> Some (Value.list states', ret)
+              | None -> None));
+    }
+  in
+  let tagged =
+    List.map
+      (fun a ->
+        match a with
+        | Action.Call c -> Action.Call { c with meth = c.obj_name ^ "/" ^ c.meth }
+        | Action.Ret _ -> a)
+      h
+  in
+  Check.check product tagged

@@ -1,0 +1,32 @@
+type t = obj_name:string -> meth:string -> string option
+
+let trivial ~obj_name:_ ~meth:_ = None
+let standard ~obj_name:_ ~meth:_ = Some Objects.Transform.preamble_end_label
+
+let transformed ~obj_name:_ ~meth:_ = Some Objects.Transform.chosen_label
+let ret_pseudo_label = "$returned"
+let full ~obj_name:_ ~meth:_ = Some ret_pseudo_label
+
+let passed (pm : t) trace ~inv ~obj_name ~meth =
+  match pm ~obj_name ~meth with
+  | None -> true
+  | Some lbl when lbl = ret_pseudo_label ->
+      List.exists
+        (function
+          | Sim.Trace.Action (History.Action.Ret r) -> r.inv = inv
+          | _ -> false)
+        (Sim.Trace.entries trace)
+  | Some lbl -> Sim.Trace.passed trace ~inv ~lbl
+
+let execution_complete pm trace =
+  let calls =
+    List.filter_map
+      (function
+        | Sim.Trace.Action (History.Action.Call c) -> Some c
+        | _ -> None)
+      (Sim.Trace.entries trace)
+  in
+  List.for_all
+    (fun (c : History.Action.call) ->
+      passed pm trace ~inv:c.inv ~obj_name:c.obj_name ~meth:c.meth)
+    calls

@@ -1,0 +1,41 @@
+(** Preamble mappings (Section 3).
+
+    A preamble mapping Π associates each method of each object with the
+    control-point label that ends its preamble. Our object implementations
+    emit the label ["preamble_end"] (or, once transformed,
+    ["preamble_<i>_end"] / ["chosen_preamble"]) via {!Sim.Proc.label}, so
+    "invocation [i] passed Π(M)" is decided by inspecting the trace. *)
+
+type t = obj_name:string -> meth:string -> string option
+(** [None] means the trivial preamble Π₀ (the invocation has passed it as
+    soon as it is called). *)
+
+(** [trivial] is Π₀ for every method: tail strong linearizability w.r.t. it
+    is exactly strong linearizability. *)
+val trivial : t
+
+(** [standard] maps every method of every object to ["preamble_end"], the
+    label our bundled base objects emit between preamble and tail. *)
+val standard : t
+
+(** [transformed] maps every method to ["chosen_preamble"], the label the
+    preamble-iterating transformation emits right after the object random
+    step: the preamble of a transformed method ends once an iteration has
+    been chosen. *)
+val transformed : t
+
+(** [full ~trace] is the "preamble = whole method" extreme: an invocation has
+    passed its preamble only once it returned. Tail strong linearizability
+    w.r.t. it coincides with plain linearizability. It is encoded by
+    requiring the invocation to have returned, which [passed] checks
+    specially via the [ret] pseudo-label. *)
+val full : t
+
+(** [passed pm trace ~inv ~obj_name ~meth] decides whether invocation [inv]
+    passed its preamble control point in [trace]. *)
+val passed :
+  t -> Sim.Trace.t -> inv:int -> obj_name:string -> meth:string -> bool
+
+(** [execution_complete pm trace] decides whether the execution is complete
+    w.r.t. Π: every invocation (of any object) passed its preamble. *)
+val execution_complete : t -> Sim.Trace.t -> bool

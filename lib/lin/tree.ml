@@ -1,0 +1,49 @@
+type node = {
+  history : History.Hist.t;
+  complete : bool;
+  children : node list;
+  descr : string;
+}
+
+let leaf ?(descr = "") ~complete history = { history; complete; children = []; descr }
+
+let node ?(descr = "") ~complete history children =
+  { history; complete; children; descr }
+
+let rec size n = 1 + List.fold_left (fun acc c -> acc + size c) 0 n.children
+
+(* Decide whether every complete node in [n]'s subtree can be labeled with a
+   linearization extending [prefix] (the nearest complete ancestor's label),
+   consistently. Returns the first failing node description on failure. *)
+let rec solve spec prefix n : (unit, string) result =
+  if not n.complete then
+    (* unconstrained node: children still answer to the same ancestor *)
+    solve_children spec prefix n.children
+  else begin
+    let candidates = Check.linearizations_extending spec n.history prefix in
+    let rec try_candidates seq =
+      match seq () with
+      | Seq.Nil ->
+          Error
+            (Fmt.str "node %s: no linearization extending %a works" n.descr
+               Check.pp_linearization prefix)
+      | Seq.Cons (l, rest) -> (
+          match solve_children spec l n.children with
+          | Ok () -> Ok ()
+          | Error _ -> try_candidates rest)
+    in
+    try_candidates candidates
+  end
+
+and solve_children spec prefix children =
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest -> (
+        match solve spec prefix c with Ok () -> go rest | Error e -> Error e)
+  in
+  go children
+
+let strongly_linearizable spec root = solve spec [] root = Ok ()
+
+let first_violation spec root =
+  match solve spec [] root with Ok () -> None | Error e -> Some e

@@ -1,0 +1,41 @@
+(** (Tail) strong linearizability over execution trees.
+
+    Strong linearizability of a set of executions E asks for a function f
+    from E to linearizations that is prefix-preserving: if e1 is a prefix of
+    e2 then f(e1) is a prefix of f(e2). When E is organized as a prefix tree
+    of executions, the existence of f is a consistent-labeling problem which
+    this module decides by backtracking search over the (lazily enumerated)
+    linearizations of every node.
+
+    Tail strong linearizability w.r.t. a preamble mapping Π constrains only
+    the nodes whose execution is {e complete} w.r.t. Π; nodes that are not
+    complete are unconstrained, and a complete node's linearization must
+    extend that of its nearest complete ancestor. *)
+
+type node = {
+  history : History.Hist.t;
+  complete : bool;  (** membership in E(O, Π) *)
+  children : node list;
+  descr : string;  (** for diagnostics, e.g. the schedule suffix *)
+}
+
+(** [leaf ?descr ~complete h] is a childless node. *)
+val leaf : ?descr:string -> complete:bool -> History.Hist.t -> node
+
+(** [node ?descr ~complete h children]. *)
+val node : ?descr:string -> complete:bool -> History.Hist.t -> node list -> node
+
+(** [strongly_linearizable spec root] decides whether a prefix-preserving
+    linearization function exists for the complete nodes of the tree.
+    With all nodes marked complete this is strong linearizability of the
+    execution set; with completeness computed from a preamble mapping it is
+    tail strong linearizability. *)
+val strongly_linearizable : History.Spec.t -> node -> bool
+
+(** [first_violation spec root] when the labeling fails: a description of a
+    node at which no linearization extending its ancestor's could be chosen
+    consistently with its subtree. *)
+val first_violation : History.Spec.t -> node -> string option
+
+(** [size root] counts nodes. *)
+val size : node -> int

@@ -1,0 +1,67 @@
+module type GAME = sig
+  type state
+  type move
+
+  type transition = Det of state | Chance of (float * state) list
+
+  val moves : state -> move list
+  val apply : state -> move -> transition
+
+  val terminal_value : state -> float
+  val pp_move : Format.formatter -> move -> unit
+end
+
+exception Cyclic
+
+module Make (G : GAME) = struct
+  type mark = In_progress | Value of float
+
+  (* The default polymorphic hash stops after 10 meaningful nodes, which
+     collides catastrophically on deep model states; hash much deeper. *)
+  module H = Hashtbl.Make (struct
+    type t = G.state
+
+    let equal = ( = )
+    let hash s = Hashtbl.hash_param 500 500 s
+  end)
+
+  let memo : mark H.t = H.create 65_536
+
+  let rec value s =
+    match H.find_opt memo s with
+    | Some (Value v) -> v
+    | Some In_progress -> raise Cyclic
+    | None ->
+        H.replace memo s In_progress;
+        let v =
+          match G.moves s with
+          | [] -> G.terminal_value s
+          | ms ->
+              List.fold_left
+                (fun acc m -> Float.max acc (transition_value (G.apply s m)))
+                neg_infinity ms
+        in
+        H.replace memo s (Value v);
+        v
+
+  and transition_value = function
+    | G.Det s -> value s
+    | G.Chance dist ->
+        List.fold_left (fun acc (p, s) -> acc +. (p *. value s)) 0.0 dist
+
+  let best_move s =
+    match G.moves s with
+    | [] -> None
+    | ms ->
+        let scored = List.map (fun m -> (transition_value (G.apply s m), m)) ms in
+        let best =
+          List.fold_left
+            (fun (bv, bm) (v, m) -> if v > bv then (v, m) else (bv, bm))
+            (List.hd scored |> fun (v, m) -> (v, m))
+            (List.tl scored)
+        in
+        Some (snd best)
+
+  let explored () = H.length memo
+  let reset () = H.reset memo
+end

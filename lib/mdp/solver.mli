@@ -1,0 +1,50 @@
+(** Exact adversary-vs-chance game solving.
+
+    The paper's quantity [Prob\[P(O) -> B\]] is a supremum over strong
+    adversaries. A strong adversary observes the entire execution so far —
+    including past random outcomes — so on a finite explicit-state model the
+    supremum is the value of a perfect-information stochastic game: at
+    adversary states the value is the max over moves, at chance states the
+    probability-weighted average, at terminal states the indicator of the
+    bad outcome. This module computes that value by top-down dynamic
+    programming with memoization (the model must be acyclic, which holds for
+    terminating programs; a cycle raises [Cyclic]). *)
+
+(** A game model. States must be pure data: structural equality and
+    [Hashtbl.hash] are used for memoization. *)
+module type GAME = sig
+  type state
+  type move
+
+  (** [moves s] lists the adversary's choices; [\[\]] marks terminal
+      states. *)
+  val moves : state -> move list
+
+  type transition = Det of state | Chance of (float * state) list
+
+  (** [apply s m] is either a deterministic successor or a chance step with
+      the given distribution (probabilities must sum to 1). *)
+  val apply : state -> move -> transition
+
+  (** [terminal_value s] is the payoff at a terminal state; it is consulted
+      only when [moves s = \[\]]. *)
+  val terminal_value : state -> float
+
+  val pp_move : Format.formatter -> move -> unit
+end
+
+exception Cyclic
+
+module Make (G : GAME) : sig
+  (** [value s] is the optimal (adversary-maximal) probability from [s]. *)
+  val value : G.state -> float
+
+  (** [best_move s] is a move achieving [value s]; [None] at terminals. *)
+  val best_move : G.state -> G.move option
+
+  (** [explored ()] is the number of distinct states memoized so far. *)
+  val explored : unit -> int
+
+  (** [reset ()] clears the memo table. *)
+  val reset : unit -> unit
+end

@@ -1,0 +1,21 @@
+type 'a t = 'a * 'a * 'a
+
+let make x = (x, x, x)
+
+let get (a, b, c) = function
+  | 0 -> a
+  | 1 -> b
+  | 2 -> c
+  | i -> Fmt.invalid_arg "Tri.get %d" i
+
+let set (a, b, c) i v =
+  match i with
+  | 0 -> (v, b, c)
+  | 1 -> (a, v, c)
+  | 2 -> (a, b, v)
+  | _ -> Fmt.invalid_arg "Tri.set %d" i
+
+let map f (a, b, c) = (f a, f b, f c)
+let to_list (a, b, c) = [ a; b; c ]
+let for_all p (a, b, c) = p a && p b && p c
+let indices = [ 0; 1; 2 ]

@@ -1,0 +1,13 @@
+(** Immutable 3-element containers (one slot per process of the weakener),
+    with structural equality and hashing — the building block of the
+    explicit-state models. *)
+
+type 'a t = 'a * 'a * 'a
+
+val make : 'a -> 'a t
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val to_list : 'a t -> 'a list
+val for_all : ('a -> bool) -> 'a t -> bool
+val indices : int list

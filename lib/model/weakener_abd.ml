@@ -1,0 +1,345 @@
+type k = int
+
+(* Two sound state-space reductions are applied relative to the raw
+   message-level semantics; neither changes the adversary-optimal value:
+
+   - Reply fusion. Delivering a query to a server freezes the reply content
+     (the server's current pair); consuming the reply later only updates the
+     client's private (got, best) accumulator, which is invisible to other
+     processes until the client's own advance step — itself an adversary
+     move. Delivering at most [quorum] queries per phase and folding the
+     reply into the accumulator at query-delivery time therefore reaches
+     exactly the same set of outcomes (a frozen-but-unconsumed third reply
+     is equivalent to never delivering that query, because ABD query
+     processing does not change server state).
+
+   - Ack fusion. An ack only increments the counter that enables the
+     client's completion step, again adversary-controlled; folding the ack
+     into update delivery (when the originating operation is still waiting
+     and below quorum) preserves the value for the same reason.
+
+   Update messages, by contrast, must remain independently deliverable
+   after their operation completes: Figure 1's adversary relies on such
+   straggler updates, and they do change server state. *)
+
+module Game = struct
+  (* Values: -1 encodes ⊥. Timestamps are (integer, process id) pairs with
+     lexicographic order; (0, 0) is the initial timestamp. *)
+  type ts = int * int
+  type vts = int * ts
+
+  (* The two shared registers; [CO] is modelled either atomically or as a
+     second, independent ABD^k instance, per [atomic_c]. *)
+  type obj_id = RO | CO
+
+  type iter_st = {
+    queried : bool list;  (* query to server s already delivered *)
+    got : int;  (* replies folded in (= number of delivered queries) *)
+    best : vts;  (* largest-timestamp reply so far *)
+  }
+
+  type phase =
+    | Query of { idx : int; results : vts list; cur : iter_st }
+        (* [results] is kept sorted: only the multiset feeds the uniform
+           choice, so the order carries no information *)
+    | Choose of { results : vts list }  (* the object random step is next *)
+    | Waiting of { payload : vts; acks : int }  (* update sent, awaiting acks *)
+
+  type opkind = KWrite of int | KRead
+
+  type op_st = { obj : obj_id; kind : opkind; opseq : int; phase : phase }
+
+  type upd_msg = { obj : obj_id; payload : vts; dest : int; origin : int * int }
+
+  type pstate = { pc : int; op : op_st option; reads : int list }
+
+  type state = {
+    k : int;
+    ns : int;  (* number of replicas; the 3 program processes are servers
+                  0-2, any further servers are pure replicas *)
+    atomic_c : bool;
+    servers_r : vts list;
+    servers_c : vts list;
+    procs : pstate Tri.t;
+    upd_out : upd_msg list;  (* canonically sorted *)
+    coin : int;
+    creg : int;  (* atomic-C register *)
+    cread : int option;  (* p2's C read result *)
+  }
+
+  type move =
+    | Client of int  (* process p performs its next client step *)
+    | DQuery of int * int  (* deliver p's query to server s (reply fused) *)
+    | DUpdate of int  (* deliver the i-th in-transit update message *)
+
+  type transition = Det of state | Chance of (float * state) list
+
+  let ts_lt (a : ts) (b : ts) = compare a b < 0
+  let bot_vts : vts = (-1, (-1, -1))
+  let quorum s = (s.ns / 2) + 1
+  let server_indices s = List.init s.ns Fun.id
+
+  let fresh_iter s =
+    { queried = List.init s.ns (fun _ -> false); got = 0; best = bot_vts }
+
+  let nth = List.nth
+  let set_nth l i v = List.mapi (fun j x -> if j = i then v else x) l
+  let servers_of s = function RO -> s.servers_r | CO -> s.servers_c
+
+  let set_servers s obj v =
+    match obj with RO -> { s with servers_r = v } | CO -> { s with servers_c = v }
+
+  (* ---- normalization: prune inert update messages ---- *)
+
+  let origin_waiting s (p, opseq) =
+    match (Tri.get s.procs p).op with
+    | Some { opseq = o; phase = Waiting { acks; _ }; _ } ->
+        o = opseq && acks < quorum s
+    | _ -> false
+
+  let normalize s =
+    let upd_out =
+      List.filter
+        (fun (m : upd_msg) ->
+          let server_ts = snd (nth (servers_of s m.obj) m.dest) in
+          ts_lt server_ts (snd m.payload) || origin_waiting s m.origin)
+        s.upd_out
+      |> List.sort compare
+    in
+    { s with upd_out }
+
+  (* ---- enabled moves ---- *)
+
+  let client_enabled s p =
+    let ps = Tri.get s.procs p in
+    match ps.op with
+    | Some { phase = Query { cur; _ }; _ } -> cur.got >= quorum s
+    | Some { phase = Choose _; _ } -> true
+    | Some { phase = Waiting { acks; _ }; _ } -> acks >= quorum s
+    | None -> (
+        match (p, ps.pc) with
+        | 0, 0 -> true
+        | 1, (0 | 1 | 2) -> true
+        | 2, (0 | 1 | 2) -> true
+        | _ -> false)
+
+  (* The bad outcome is already impossible when a completed read of p2
+     mismatches the (known) coin: the game value from here is 0 whatever the
+     adversary does, so such states are terminal. This prunes roughly half
+     of the tree below every "wrong" read. *)
+  let outcome_impossible s =
+    s.coin >= 0
+    &&
+    match (Tri.get s.procs 2).reads with
+    | u1 :: rest ->
+        u1 <> s.coin || (match rest with u2 :: _ -> u2 <> 1 - s.coin | [] -> false)
+    | [] -> false
+
+  let moves s =
+    (* once p2 finished, the outcome is fixed: treat as terminal *)
+    if (Tri.get s.procs 2).pc >= 3 then []
+    else if outcome_impossible s then []
+    else begin
+      let clients =
+        List.filter_map
+          (fun p -> if client_enabled s p then Some (Client p) else None)
+          Tri.indices
+      in
+      let queries =
+        List.concat_map
+          (fun p ->
+            match (Tri.get s.procs p).op with
+            | Some { phase = Query { cur; _ }; _ } when cur.got < quorum s ->
+                List.filter_map
+                  (fun srv ->
+                    if not (nth cur.queried srv) then Some (DQuery (p, srv))
+                    else None)
+                  (server_indices s)
+            | _ -> [])
+          Tri.indices
+      in
+      let updates = List.mapi (fun i _ -> DUpdate i) s.upd_out in
+      clients @ queries @ updates
+    end
+
+  (* ---- applying moves ---- *)
+
+  let with_proc s p ps = { s with procs = Tri.set s.procs p ps }
+
+  let set_op s p op =
+    let ps = Tri.get s.procs p in
+    with_proc s p { ps with op }
+
+  let start_op s p obj kind opseq =
+    set_op s p
+      (Some
+         {
+           obj;
+           kind;
+           opseq;
+           phase = Query { idx = 0; results = []; cur = fresh_iter s };
+         })
+
+  let advance_query s p =
+    let ps = Tri.get s.procs p in
+    match ps.op with
+    | Some ({ phase = Query { idx; results; cur }; _ } as o) ->
+        let results = List.sort compare (cur.best :: results) in
+        let phase =
+          if idx + 1 < s.k then
+            Query { idx = idx + 1; results; cur = fresh_iter s }
+          else Choose { results }
+        in
+        set_op s p (Some { o with phase })
+    | _ -> assert false
+
+  let choose_iteration s p =
+    let ps = Tri.get s.procs p in
+    match ps.op with
+    | Some ({ phase = Choose { results }; _ } as o) ->
+        let outcomes =
+          List.map
+            (fun chosen ->
+              let payload =
+                match o.kind with
+                | KRead -> chosen
+                | KWrite v ->
+                    let t, _ = snd chosen in
+                    (v, (t + 1, p))
+              in
+              let upd_out =
+                List.map
+                  (fun dest -> { obj = o.obj; payload; dest; origin = (p, o.opseq) })
+                  (server_indices s)
+                @ s.upd_out
+              in
+              normalize
+                (set_op
+                   { s with upd_out }
+                   p
+                   (Some { o with phase = Waiting { payload; acks = 0 } })))
+            results
+        in
+        let pr = 1.0 /. float_of_int (List.length results) in
+        Chance (List.map (fun st -> (pr, st)) outcomes)
+    | _ -> assert false
+
+  let complete_op s p =
+    let ps = Tri.get s.procs p in
+    match ps.op with
+    | Some { obj; kind; phase = Waiting { payload; _ }; _ } ->
+        let s =
+          match (obj, kind) with
+          | RO, KRead ->
+              with_proc s p { ps with reads = ps.reads @ [ fst payload ] }
+          | CO, KRead -> { s with cread = Some (fst payload) }
+          | (RO | CO), KWrite _ -> s
+        in
+        let ps = Tri.get s.procs p in
+        normalize (with_proc s p { ps with pc = ps.pc + 1; op = None })
+    | _ -> assert false
+
+  let client_step s p =
+    let ps = Tri.get s.procs p in
+    match ps.op with
+    | Some { phase = Query _; _ } -> Det (advance_query s p)
+    | Some { phase = Choose _; _ } -> choose_iteration s p
+    | Some { phase = Waiting _; _ } -> Det (complete_op s p)
+    | None -> (
+        match (p, ps.pc) with
+        | 0, 0 -> Det (start_op s p RO (KWrite 0) 0)
+        | 1, 0 -> Det (start_op s p RO (KWrite 1) 0)
+        | 1, 1 ->
+            let flip v = with_proc { s with coin = v } 1 { ps with pc = 2 } in
+            Chance [ (0.5, flip 0); (0.5, flip 1) ]
+        | 1, 2 ->
+            if s.atomic_c then
+              Det (with_proc { s with creg = s.coin } 1 { ps with pc = 3 })
+            else Det (start_op s p CO (KWrite s.coin) 2)
+        | 2, 0 -> Det (start_op s p RO KRead 0)
+        | 2, 1 -> Det (start_op s p RO KRead 1)
+        | 2, 2 ->
+            if s.atomic_c then
+              Det (with_proc { s with cread = Some s.creg } 2 { ps with pc = 3 })
+            else Det (start_op s p CO KRead 2)
+        | _ -> assert false)
+
+  let apply s move =
+    match move with
+    | Client p -> client_step s p
+    | DQuery (p, srv) ->
+        (* fused: freeze the server's pair and fold it into the client's
+           accumulator in one indivisible event *)
+        let ps = Tri.get s.procs p in
+        (match ps.op with
+        | Some ({ phase = Query q; _ } as o) ->
+            let reply = nth (servers_of s o.obj) srv in
+            let cur = q.cur in
+            let best =
+              if ts_lt (snd cur.best) (snd reply) then reply else cur.best
+            in
+            let cur =
+              { queried = set_nth cur.queried srv true; got = cur.got + 1; best }
+            in
+            Det (set_op s p (Some { o with phase = Query { q with cur } }))
+        | _ -> assert false)
+    | DUpdate i ->
+        let m = List.nth s.upd_out i in
+        let upd_out = List.filteri (fun j _ -> j <> i) s.upd_out in
+        let s =
+          let servers = servers_of s m.obj in
+          let cur = nth servers m.dest in
+          if ts_lt (snd cur) (snd m.payload) then
+            set_servers s m.obj (set_nth servers m.dest m.payload)
+          else s
+        in
+        let s = { s with upd_out } in
+        (* fused ack *)
+        let s =
+          let p, opseq = m.origin in
+          let ps = Tri.get s.procs p in
+          match ps.op with
+          | Some ({ opseq = o; phase = Waiting w; _ } as op)
+            when o = opseq && w.acks < quorum s ->
+              set_op s p (Some { op with phase = Waiting { w with acks = w.acks + 1 } })
+          | _ -> s
+        in
+        Det (normalize s)
+
+  let terminal_value s =
+    match s.cread with
+    | Some c when c = 0 || c = 1 -> (
+        match (Tri.get s.procs 2).reads with
+        | [ u1; u2 ] -> if u1 = c && u2 = 1 - c then 1.0 else 0.0
+        | _ -> 0.0)
+    | _ -> 0.0
+
+  let pp_move ppf = function
+    | Client p -> Fmt.pf ppf "client(p%d)" p
+    | DQuery (p, srv) -> Fmt.pf ppf "query(p%d->s%d)" p srv
+    | DUpdate i -> Fmt.pf ppf "update[%d]" i
+end
+
+module S = Mdp.Solver.Make (Game)
+
+let init ?(atomic_c = true) ?(servers = 3) ~k () : Game.state =
+  if k < 1 then invalid_arg "Weakener_abd.init: k >= 1 required";
+  if servers < 3 then invalid_arg "Weakener_abd.init: at least 3 servers";
+  {
+    k;
+    ns = servers;
+    atomic_c;
+    servers_r = List.init servers (fun _ -> (-1, (0, 0)));
+    servers_c = List.init servers (fun _ -> (-1, (0, 0)));
+    procs = Tri.make { Game.pc = 0; op = None; reads = [] };
+    upd_out = [];
+    coin = -1;
+    creg = -1;
+    cread = None;
+  }
+
+let bad_probability ?(atomic_c = true) ?(servers = 3) ~k () =
+  S.value (init ~atomic_c ~servers ~k ())
+let best_move = S.best_move
+let explored_states () = S.explored ()
+let reset () = S.reset ()

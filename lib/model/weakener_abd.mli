@@ -1,0 +1,59 @@
+(** Exact game model of the weakener program over [ABD^k] registers
+    (Appendices A.2 and A.3 of the paper), at full message granularity.
+
+    Register [R] is the multi-writer ABD of Algorithm 3 transformed per
+    Algorithm 4: each operation runs [k] query phases (broadcast query,
+    adversary-chosen delivery of queries and replies, majority wait), a
+    uniformly random choice of one phase's result (a chance node — the
+    object random step), then the update phase (broadcast update, majority
+    of acks). Every process is also an ABD server. Update messages that are
+    still in transit when their operation completes remain deliverable —
+    exactly the straggler deliveries Figure 1's adversary exploits.
+
+    Register [C] is modelled atomically. This loses no adversary power: the
+    only use of [C] is [p1]'s single write and [p2]'s single read, and the
+    adversary maximizes its winning probability by making the read return
+    the coin value, which atomic [C] already permits (Figure 1's adversary
+    also just orders the [C] read after the [C] write). The paper's A.3
+    analysis likewise conditions only on [R]'s query phases.
+
+    Solving the game (memoized expectimax, {!Mdp.Solver}) yields the exact
+    adversary-optimal probability that [p2] loops forever:
+
+    - [k = 1] (plain ABD): 1 — reproducing Figure 1 / A.2;
+    - [k = 2]: at most 5/8 by the paper's refined analysis (A.3.2), at
+      least [1 - 7/8 = 1/8]-complement by the generic bound; the solver
+      gives the exact value;
+    - as [k] grows the value approaches the atomic 1/2 (Theorem 4.2). *)
+
+type k = int
+
+module Game : Mdp.Solver.GAME
+
+(** [init ?atomic_c ?servers ~k ()] is the initial state for [ABD^k].
+    [atomic_c] (default [true]) selects whether register [C] is atomic or a
+    second ABD^k instance; the former is the documented value-preserving
+    reduction, the latter validates it. [servers] (default 3, minimum 3) is
+    the number of ABD replicas: the three program processes are servers
+    0-2, any further servers are pure replicas, and quorums are majorities
+    of [servers]. Requires [k >= 1]. *)
+val init : ?atomic_c:bool -> ?servers:int -> k:k -> unit -> Game.state
+
+(** [bad_probability ?atomic_c ~k ()] solves the game for [ABD^k]: the
+    exact adversary-optimal probability that [p2] loops forever.
+    Exponential in [k]; practical for [k <= 4] (atomic [C]) and [k <= 2]
+    (ABD [C]). *)
+val bad_probability : ?atomic_c:bool -> ?servers:int -> k:k -> unit -> float
+
+(** [best_move s] is a move attaining the optimal value at [s] (an optimal
+    adversary strategy, computable after [bad_probability] filled the memo
+    table or directly — the solver recurses as needed). *)
+val best_move : Game.state -> Game.move option
+
+(** [explored_states ()] is the cumulative number of memoized states. *)
+val explored_states : unit -> int
+
+(** [reset ()] clears the solver's memo table (states are keyed by the full
+    state including [k], so solving several [k] in sequence is safe; reset
+    only frees memory). *)
+val reset : unit -> unit

@@ -1,0 +1,22 @@
+(** Exact game model of the weakener program over atomic registers
+    (Appendix A.1 of the paper).
+
+    Every register access is a single indivisible step, so the adversary's
+    only power is the interleaving of eight program steps plus the timing of
+    the coin flip (a chance node). The optimal probability of the bad
+    outcome ([u1 = c] and [u2 = 1 - c], i.e. [p2] looping forever) is
+    exactly 1/2 — the adversary schedules [p2]'s first read before or after
+    [p1]'s write according to the coin, but the second read can only match
+    for one coin value. *)
+
+module Game : Mdp.Solver.GAME
+
+(** The initial state. *)
+val init : Game.state
+
+(** [bad_probability ()] solves the game: the adversary-optimal probability
+    that [p2] loops forever. The paper's claim is that this equals 1/2. *)
+val bad_probability : unit -> float
+
+(** [explored_states ()] after solving. *)
+val explored_states : unit -> int

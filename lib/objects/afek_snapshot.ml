@@ -1,0 +1,96 @@
+open Util
+open Sim
+open Sim.Proc.Syntax
+
+let reg ~name i = Base_reg.id ~obj_name:name ~index:[ i ] "m"
+
+let registers ~name ~init ~n =
+  List.init n (fun i ->
+      {
+        Base_reg.id = reg ~name i;
+        init = Value.triple init (Value.int 0) (Value.list (List.init n (fun _ -> init)));
+        writers = Some [ i ];
+        readers = None;
+      })
+
+(* One collect: read M[0..n-1] in index order. *)
+let collect ~name ~n =
+  Proc.repeat n (fun j ->
+      let+ c = Proc.read_reg (reg ~name j) in
+      Value.to_triple c)
+
+let seq_of (_, s, _) = Value.to_int s
+let value_of (v, _, _) = v
+let view_of (_, _, w) = w
+
+(* The scan body: repeat collects until two agree or someone moved twice. *)
+let scan_body ~name ~n =
+  let rec go prev moved =
+    let* c = collect ~name ~n in
+    match prev with
+    | None -> go (Some c) moved
+    | Some p ->
+        let changed =
+          List.filteri (fun j _ -> seq_of (List.nth p j) <> seq_of (List.nth c j)) c
+        in
+        if changed = [] then Proc.return (Value.list (List.map value_of c))
+        else begin
+          let moved' =
+            List.mapi
+              (fun j m ->
+                if seq_of (List.nth p j) <> seq_of (List.nth c j) then m + 1 else m)
+              moved
+          in
+          (* a process seen moving twice performed a complete update inside
+             our interval: borrow its embedded view *)
+          match
+            List.find_opt
+              (fun j -> List.nth moved' j >= 2)
+              (List.init n Fun.id)
+          with
+          | Some j -> Proc.return (view_of (List.nth c j))
+          | None -> go (Some c) moved'
+        end
+  in
+  go None (List.init n (fun _ -> 0))
+
+let split ~name ~n : Transform.split =
+  {
+    preamble =
+      (fun ~self:_ ~meth:_ ~arg:_ ->
+        (* both methods' preamble is a full (embedded) scan *)
+        scan_body ~name ~n);
+    tail =
+      (fun ~self ~meth ~arg view ->
+        match meth with
+        | "scan" -> Proc.return view
+        | "update" ->
+            let idx, v = Value.to_pair arg in
+            let i = Value.to_int idx in
+            if i <> self then
+              Fmt.invalid_arg "snapshot %s: process %d updating component %d" name
+                self i;
+            let* cur = Proc.read_reg (reg ~name i) in
+            let seq = seq_of (Value.to_triple cur) in
+            let* () =
+              Proc.write_reg (reg ~name i)
+                (Value.triple v (Value.int (seq + 1)) view)
+            in
+            Proc.return Value.unit
+        | _ -> Fmt.invalid_arg "snapshot %s: unknown method %s" name meth);
+  }
+
+let make_with invoke ~name ~init : Obj_impl.t =
+  {
+    name;
+    invoke;
+    on_message = None;
+    init_server = None;
+    registers = (fun ~n -> registers ~name ~init ~n);
+  }
+
+let make ~name ~n ~init =
+  make_with (Transform.base_invoke (split ~name ~n)) ~name ~init
+
+let make_k ~k ~name ~n ~init =
+  make_with (Transform.iterated_invoke ~k (split ~name ~n)) ~name ~init

@@ -1,0 +1,30 @@
+(** The wait-free atomic snapshot of Afek, Attiya, Dolev, Gafni, Merritt and
+    Shavit, from single-writer registers (Section 5.2 of the paper).
+
+    One single-writer register [M\[i\]] per process holds a triple
+    [(value, seq, view)]. [scan] performs successive collects until either
+    two consecutive collects agree (a {e direct} scan) or some process is
+    seen to move twice, in which case that process's embedded [view] — a
+    snapshot it took entirely within the scanner's interval — is {e borrowed}
+    and returned. [update i v] first scans, then atomically writes
+    [(v, seq+1, view)] to [M\[i\]].
+
+    The object is linearizable and wait-free but not strongly linearizable
+    (Golab–Higham–Woelfel); it is tail strongly linearizable with the scan's
+    preamble ending just before it returns and the update's preamble
+    covering its embedded scan (both effect-free: reads only), so the
+    preamble-iterating transformation applies. *)
+
+(** The preamble/tail factoring used by the transformation: both methods'
+    preamble is a full scan; the update's tail performs the single atomic
+    write, the scan's tail just returns. *)
+val split : name:string -> n:int -> Transform.split
+
+(** [make ~name ~n ~init] is the snapshot object for [n] processes.
+    Methods: ["scan"] (argument ignored; returns the [List] of components)
+    and ["update"] with argument [Pair (Int i, v)] where [i] must be the
+    invoking process. *)
+val make : name:string -> n:int -> init:Util.Value.t -> Sim.Obj_impl.t
+
+(** [make_k ~k ~name ~n ~init] is the transformed [Snapshot^k]. *)
+val make_k : k:int -> name:string -> n:int -> init:Util.Value.t -> Sim.Obj_impl.t

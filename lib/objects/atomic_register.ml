@@ -1,0 +1,14 @@
+open Util
+
+let make ~name ~init : Sim.Obj_impl.t =
+  let rid = Sim.Base_reg.id ~obj_name:name "cell" in
+  Sim.Obj_impl.pure_shared_memory ~name
+    ~registers:(fun ~n:_ ->
+      [ { Sim.Base_reg.id = rid; init; writers = None; readers = None } ])
+    ~invoke:(fun ~self:_ ~meth ~arg ->
+      match meth with
+      | "read" -> Sim.Proc.read_reg rid
+      | "write" ->
+          Sim.Proc.bind (Sim.Proc.write_reg rid arg) (fun () ->
+              Sim.Proc.return Value.unit)
+      | _ -> Fmt.invalid_arg "atomic register %s: unknown method %s" name meth)

@@ -1,0 +1,11 @@
+(** Atomic (strongly linearizable) reference register.
+
+    Each method performs exactly one base-register access, so its
+    linearization point is that single indivisible step: the object is
+    strongly linearizable, and by Theorem 2.3 a program using it has the same
+    outcome distribution as with a truly atomic register. It is the baseline
+    [O_a] of all experiments. *)
+
+(** [make ~name ~init] is a multi-writer multi-reader atomic register.
+    Methods: ["read"] and ["write"]. *)
+val make : name:string -> init:Util.Value.t -> Sim.Obj_impl.t

@@ -1,0 +1,106 @@
+open Util
+open Sim
+open Sim.Proc.Syntax
+
+let readers ~n ~writer = List.filter (fun p -> p <> writer) (List.init n Fun.id)
+let val_reg ~name i = Base_reg.id ~obj_name:name ~index:[ i ] "val"
+let report_reg ~name i j = Base_reg.id ~obj_name:name ~index:[ i; j ] "report"
+
+let registers ~name ~init ~writer ~n =
+  let rs = readers ~n ~writer in
+  let vals =
+    List.map
+      (fun i ->
+        {
+          Base_reg.id = val_reg ~name i;
+          init = Value.pair init (Value.int 0);
+          writers = Some [ writer ];
+          readers = Some [ i ];
+        })
+      rs
+  in
+  let reports =
+    List.concat_map
+      (fun i ->
+        List.map
+          (fun j ->
+            {
+              Base_reg.id = report_reg ~name i j;
+              init = Value.pair init (Value.int 0);
+              writers = Some [ i ];
+              readers = Some [ j ];
+            })
+          rs)
+      rs
+  in
+  vals @ reports
+
+let seq_of pair = Value.to_int (snd (Value.to_pair pair))
+
+(* Reader preamble: read Val[self] and column self of Report, keep the pair
+   with the largest sequence number. *)
+let read_collect ~name ~n ~writer ~self =
+  let* own = Proc.read_reg (val_reg ~name self) in
+  let rec go js best =
+    match js with
+    | [] -> Proc.return best
+    | j :: rest ->
+        let* r = Proc.read_reg (report_reg ~name j self) in
+        go rest (if seq_of r > seq_of best then r else best)
+  in
+  go (readers ~n ~writer) own
+
+let split ~name ~n ~writer : Transform.split =
+  {
+    preamble =
+      (fun ~self ~meth ~arg:_ ->
+        match meth with
+        | "read" -> read_collect ~name ~n ~writer ~self
+        | "write" -> Proc.return Value.unit (* empty preamble *)
+        | m -> Fmt.invalid_arg "IL register %s: unknown method %s" name m);
+    tail =
+      (fun ~self ~meth ~arg locals ->
+        match meth with
+        | "read" ->
+            if self = writer then
+              Fmt.invalid_arg "IL register %s: the writer cannot read" name;
+            (* announce the chosen pair on row self, then return its value *)
+            let* () =
+              Proc.note "adopted"
+                (Value.pair (fst (Value.to_pair locals))
+                   (Value.ts (seq_of locals) 0))
+            in
+            let* () =
+              Proc.iter (readers ~n ~writer) (fun j ->
+                  Proc.write_reg (report_reg ~name self j) locals)
+            in
+            Proc.return (fst (Value.to_pair locals))
+        | "write" ->
+            if self <> writer then
+              Fmt.invalid_arg "IL register %s: process %d is not the writer" name
+                self;
+            let* nonce = Proc.fresh in
+            let pair = Value.pair arg (Value.int (nonce + 1)) in
+            let* () = Proc.note "adopted" (Value.pair arg (Value.ts (nonce + 1) 0)) in
+            let* () =
+              Proc.iter (readers ~n ~writer) (fun i ->
+                  Proc.write_reg (val_reg ~name i) pair)
+            in
+            Proc.return Value.unit
+        | m -> Fmt.invalid_arg "IL register %s: unknown method %s" name m);
+  }
+
+let make_with invoke ~name ~init ~writer : Obj_impl.t =
+  {
+    name;
+    invoke;
+    on_message = None;
+    init_server = None;
+    registers = (fun ~n -> registers ~name ~init ~writer ~n);
+  }
+
+let make ~name ~n ~writer ~init =
+  make_with (Transform.base_invoke (split ~name ~n ~writer)) ~name ~init ~writer
+
+let make_k ~k ~name ~n ~writer ~init =
+  make_with (Transform.iterated_invoke ~k (split ~name ~n ~writer)) ~name ~init ~writer

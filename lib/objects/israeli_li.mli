@@ -1,0 +1,31 @@
+(** The Israeli–Li single-writer multi-reader register from single-writer
+    single-reader registers (Section 5.4 of the paper).
+
+    The unique [writer] writes [(v, seq)] with an increasing sequence number
+    into one SWSR register [Val\[i\]] per reader [i]. Readers communicate
+    through a matrix [Report\[i\]\[j\]] of SWSR registers: reader [i] writes
+    row [i] and reads column [i]. A [read] at reader [i] collects [Val\[i\]]
+    and column [i] of [Report], picks the pair with the largest sequence
+    number, writes it to row [i], and returns the value — the row writes let
+    later readers see at least as new a value, preventing new/old
+    inversions between non-overlapping reads by different readers.
+
+    The implementation is not strongly linearizable (mimicking the ABD
+    counter-example); it is tail strongly linearizable with the read
+    preamble ending just before the first [Report] write and the write
+    preamble empty — the collect is effect-free, so the transformation
+    applies (to reads; writes are unchanged up to the trivial random step). *)
+
+(** [readers ~n ~writer] lists the reader processes (everyone but the
+    writer). *)
+val readers : n:int -> writer:int -> int list
+
+val split : name:string -> n:int -> writer:int -> Transform.split
+
+(** [make ~name ~n ~writer ~init] — methods ["read"] (readers only) and
+    ["write"] (writer only). *)
+val make : name:string -> n:int -> writer:int -> init:Util.Value.t -> Sim.Obj_impl.t
+
+(** [make_k ~k ~name ~n ~writer ~init] is the transformed register. *)
+val make_k :
+  k:int -> name:string -> n:int -> writer:int -> init:Util.Value.t -> Sim.Obj_impl.t

@@ -1,0 +1,37 @@
+open Util
+open Sim
+open Sim.Proc.Syntax
+
+let bit ~name j = Base_reg.id ~obj_name:name ~index:[ j ] "bit"
+
+let make ~name ~bound : Obj_impl.t =
+  if bound < 1 then invalid_arg "Max_register.make: bound must be >= 1";
+  Obj_impl.pure_shared_memory ~name
+    ~registers:(fun ~n:_ ->
+      List.init bound (fun j ->
+          {
+            Base_reg.id = bit ~name j;
+            init = Value.bool false;
+            writers = None;
+            readers = None;
+          }))
+    ~invoke:(fun ~self:_ ~meth ~arg ->
+      match meth with
+      | "write" ->
+          let v = Value.to_int arg in
+          if v < 0 || v >= bound then
+            Fmt.invalid_arg "max register %s: value %d out of bounds" name v;
+          (* level 0 is the initial value: setting its bit is a no-op *)
+          if v = 0 then Proc.return Value.unit
+          else
+            let* () = Proc.write_reg (bit ~name v) (Value.bool true) in
+            Proc.return Value.unit
+      | "read" ->
+          let rec scan j =
+            if j <= 0 then Proc.return (Value.int 0)
+            else
+              let* b = Proc.read_reg (bit ~name j) in
+              if Value.to_bool b then Proc.return (Value.int j) else scan (j - 1)
+          in
+          scan (bound - 1)
+      | _ -> Fmt.invalid_arg "max register %s: unknown method %s" name meth)

@@ -1,0 +1,28 @@
+(** A wait-free bounded max register from multi-writer registers.
+
+    Section 6 of the paper surveys strong linearizability: "the only known
+    strongly-linearizable wait-free implementation is of a bounded max
+    register (using multi-writer registers)" (Helmi, Higham, Woelfel). This
+    is that object, in its simplest unary form: one boolean multi-writer
+    register per value level.
+
+    - [write v] sets bit [v] — a single indivisible base step, so the
+      write's linearization point is fixed when it happens;
+    - [read] scans the bits from the highest level downwards and returns
+      the first set level (0 if none). Scanning downwards is what makes the
+      object strongly linearizable: once the read passes level [j] without
+      seeing it set, any later write of [j' <= j]... is still allowed to be
+      linearized after the read, and the read's linearization point can be
+      fixed at the step where it found its answer, independent of the
+      future.
+
+    Because writes are single steps, the object's preamble mapping is the
+    trivial one and the preamble-iterating transformation leaves it
+    unchanged (Section 6: "applying the preamble-iterating transformation
+    results in no change"). The object serves as the strongly linearizable
+    baseline in tests: by Theorem 2.3, programs using it have atomic-object
+    outcome distributions. *)
+
+(** [make ~name ~bound] is a max register over values [0 .. bound-1].
+    Methods: ["read"] and ["write"] with an [Int] argument in range. *)
+val make : name:string -> bound:int -> Sim.Obj_impl.t

@@ -1,0 +1,58 @@
+(** The preamble-iterating transformation (Algorithm 2 of the paper).
+
+    An object implementation whose every method factors into an effect-free
+    {e preamble} (computing some local values) followed by a {e tail} (which
+    alone performs effectful steps) is represented as a {!split}. The
+    transformation [O -> O^k] replaces each method body
+
+    {[ locals := PREAMBLE(v); TAIL(locals) ]}
+
+    by
+
+    {[ for i = 1 to k do locals_[i] := PREAMBLE(v) done;
+       j := random([1..k]);  (* an "object random step" *)
+       TAIL(locals_[j]) ]}
+
+    Theorem 4.1: when preambles are effect-free, [O^k] is equivalent to [O];
+    Theorem 4.2 quantifies how the extra randomization blunts a strong
+    adversary. *)
+
+type split = {
+  preamble :
+    self:int -> meth:string -> arg:Util.Value.t -> Util.Value.t Sim.Proc.t;
+      (** effect-free prefix; its result is the [locals] value *)
+  tail :
+    self:int ->
+    meth:string ->
+    arg:Util.Value.t ->
+    Util.Value.t ->
+    Util.Value.t Sim.Proc.t;
+      (** rest of the method, consuming the chosen [locals] *)
+}
+
+(** [base_invoke split] is the original method body: one preamble, the
+    control-point label ["preamble_end"] (the point Π(M) of the preamble
+    mapping), then the tail. *)
+val base_invoke :
+  split -> self:int -> meth:string -> arg:Util.Value.t -> Util.Value.t Sim.Proc.t
+
+(** [iterated_invoke ~k split] is the transformed method body [M^k]: [k]
+    preamble iterations (each ending at label ["preamble_<i>_end"]), an
+    object random step choosing the iteration, label ["chosen_preamble"],
+    then the tail. Requires [k >= 1]. *)
+val iterated_invoke :
+  k:int ->
+  split ->
+  self:int ->
+  meth:string ->
+  arg:Util.Value.t ->
+  Util.Value.t Sim.Proc.t
+
+(** [preamble_end_label] = ["preamble_end"]. *)
+val preamble_end_label : string
+
+(** [iter_label i] = ["preamble_<i>_end"] (1-based, as in Algorithm 2). *)
+val iter_label : int -> string
+
+(** [chosen_label] = ["chosen_preamble"]. *)
+val chosen_label : string

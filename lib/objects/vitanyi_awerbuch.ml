@@ -1,0 +1,61 @@
+open Util
+open Sim
+open Sim.Proc.Syntax
+
+let reg ~name i = Base_reg.id ~obj_name:name ~index:[ i ] "val"
+
+let registers ~name ~init ~n =
+  List.init n (fun i ->
+      {
+        Base_reg.id = reg ~name i;
+        init = Value.pair init Value.ts_zero;
+        writers = Some [ i ];
+        readers = None;
+      })
+
+(* Collect every Val register and keep the pair with the largest timestamp. *)
+let collect_max ~name ~n =
+  let rec go j best =
+    if j = n then Proc.return best
+    else
+      let* c = Proc.read_reg (reg ~name j) in
+      let _, ts = Value.to_pair c in
+      let _, bts = Value.to_pair best in
+      go (j + 1) (if Value.ts_compare ts bts > 0 then c else best)
+  in
+  let* first = Proc.read_reg (reg ~name 0) in
+  go 1 first
+
+let split ~name ~n : Transform.split =
+  {
+    preamble = (fun ~self:_ ~meth:_ ~arg:_ -> collect_max ~name ~n);
+    tail =
+      (fun ~self ~meth ~arg locals ->
+        let v, ts = Value.to_pair locals in
+        match meth with
+        | "read" ->
+            let* () = Proc.note "adopted" (Value.pair v ts) in
+            Proc.return v
+        | "write" ->
+            let t, _ = Value.to_pair ts in
+            let ts' = Value.ts (Value.to_int t + 1) self in
+            let* () = Proc.note "adopted" (Value.pair arg ts') in
+            let* () = Proc.write_reg (reg ~name self) (Value.pair arg ts') in
+            Proc.return Value.unit
+        | _ -> Fmt.invalid_arg "VA register %s: unknown method %s" name meth);
+  }
+
+let make_with invoke ~name ~init : Obj_impl.t =
+  {
+    name;
+    invoke;
+    on_message = None;
+    init_server = None;
+    registers = (fun ~n -> registers ~name ~init ~n);
+  }
+
+let make ~name ~n ~init =
+  make_with (Transform.base_invoke (split ~name ~n)) ~name ~init
+
+let make_k ~k ~name ~n ~init =
+  make_with (Transform.iterated_invoke ~k (split ~name ~n)) ~name ~init

@@ -1,0 +1,23 @@
+(** The Vitányi–Awerbuch multi-writer multi-reader register from
+    single-writer registers (Section 5.3 of the paper).
+
+    One single-writer register [Val\[i\]] per process holds a
+    [(value, timestamp)] pair, timestamps being [(integer, process id)]
+    pairs ordered lexicographically. A [read] collects all [Val] registers
+    and returns the value with the largest timestamp. A [write v] at
+    process [i] collects all [Val] registers, forms the timestamp
+    [(max_t + 1, i)], and writes [(v, ts)] to [Val\[i\]].
+
+    No strongly linearizable wait-free MWMR register from single-writer
+    registers exists (Helmi–Higham–Woelfel); this implementation is tail
+    strongly linearizable with the read preamble ending just before the
+    return and the write preamble ending just before the write to
+    [Val\[i\]] — both preambles are collects, hence effect-free. *)
+
+val split : name:string -> n:int -> Transform.split
+
+(** [make ~name ~n ~init] — methods ["read"] and ["write"]. *)
+val make : name:string -> n:int -> init:Util.Value.t -> Sim.Obj_impl.t
+
+(** [make_k ~k ~name ~n ~init] is the transformed register. *)
+val make_k : k:int -> name:string -> n:int -> init:Util.Value.t -> Sim.Obj_impl.t

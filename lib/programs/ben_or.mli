@@ -1,0 +1,39 @@
+(** Ben-Or's randomized binary consensus, directly on the message-passing
+    substrate.
+
+    Randomized consensus is the paper's motivating application class (its
+    reference [2] is Aspnes' survey): round-based, a constant number of
+    coin flips per process per round, termination with probability 1 under
+    a fair scheduler — exactly the shape Section 7's recipe addresses when
+    the protocol is built over implemented shared objects. This
+    implementation communicates by broadcast directly, exercising the
+    simulator's network beyond the ABD patterns.
+
+    Protocol (binary values, [n] processes, tolerating [f] crashes,
+    [n > 2f]): each round has two phases. Phase 1: broadcast your estimate,
+    await [n - f] phase-1 messages of this round; if more than [n/2] carry
+    the same value [v], propose [v], else propose ⊥. Phase 2: broadcast
+    the proposal, await [n - f]; if at least [f + 1] carry the same
+    non-⊥ [v], decide [v]; else if any carries non-⊥ [v], adopt [v];
+    else adopt a fresh coin flip. A decided process broadcasts a
+    ["decide"] message and halts; processes adopt a received decision
+    immediately (sufficient for crash faults).
+
+    Properties checked by the test suite over many schedules: agreement
+    (all decisions equal), validity (unanimous input decides that input),
+    and crash tolerance ([f = 1] with three processes). *)
+
+(** [config ~n ~f ~inputs ~max_rounds] builds the program. [inputs] gives
+    each process's initial value (0 or 1). Gives up (with a ["gave_up"]
+    trace label) after [max_rounds]. Requires [n > 2 * f] and
+    [List.length inputs = n]. *)
+val config : n:int -> f:int -> inputs:int list -> max_rounds:int -> Sim.Runtime.config
+
+(** [decisions trace ~n] is each process's decision, if recorded. *)
+val decisions : Sim.Trace.t -> n:int -> int option list
+
+(** [agreement ds] — no two [Some] decisions differ. *)
+val agreement : int option list -> bool
+
+(** [validity ~inputs ds] — every decision equals some input. *)
+val validity : inputs:int list -> int option list -> bool

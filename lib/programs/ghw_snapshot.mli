@@ -1,0 +1,49 @@
+(** A weakener-style randomized program over a snapshot object, after Golab,
+    Higham and Woelfel's motivating example (reference [12] of the paper):
+    the first demonstration that linearizable implementations do not
+    preserve probability distributions used exactly the snapshot
+    implementation of Afek et al.
+
+    Processes [p0] and [p1] update components 0 and 1 of a shared snapshot
+    [S]; [p1] then flips a coin and publishes it through register [C]; [p2]
+    scans twice and reads [C]. Writing [u(s) = 0] when scan [s] shows only
+    [p0]'s update, [u(s) = 1] when it shows only [p1]'s and ⊥ otherwise,
+    the bad outcome is [u(s1) = c]: the first scan shows exactly the update
+    selected by the coin.
+
+    With an atomic snapshot the bad probability is exactly 1/2: [p1]'s
+    update precedes the flip, so a post-flip scan can be made to show only
+    [p1]'s update (delay [p0]'s) but never only [p0]'s — the adversary wins
+    post-flip only when the coin is 1, and pre-committing the scan wins
+    with probability 1/2. Note that the weakener's two-sided conflict
+    [u(s1) = c && u(s2) = 1 - c] is {e unsatisfiable} for snapshots: scans
+    are monotone under any linearizable implementation, so a later scan
+    cannot drop an update an earlier one showed. The adversary's leverage
+    against implementations therefore shows up in the one-sided event. *)
+
+(** [config ~snapshot ~c] assembles the 3-process program; [snapshot] must
+    be named ["S"] (with at least 2 components for 3 processes) and [c]
+    ["C"]. *)
+val config : snapshot:Sim.Obj_impl.t -> c:Sim.Obj_impl.t -> Sim.Runtime.config
+
+val tag_s1 : string
+val tag_s2 : string
+val tag_c : string
+
+(** [u scan_value] classifies a scan result: [Some 0], [Some 1] or [None]. *)
+val u : Util.Value.t -> int option
+
+(** [bad outcome] is the analogue of the weakener's bad set. *)
+val bad : History.Outcome.t -> bool
+
+(** [afek_config ()] instantiates with the Afek et al. snapshot and an
+    atomic [C]. *)
+val afek_config : unit -> Sim.Runtime.config
+
+(** [afek_k_config ~k] uses the transformed [Snapshot^k]. *)
+val afek_k_config : k:int -> Sim.Runtime.config
+
+(** [atomic_config ()] uses an atomic-equivalent snapshot: one realized on a
+    single atomic register holding the whole array (strongly linearizable,
+    single-step methods). *)
+val atomic_config : unit -> Sim.Runtime.config

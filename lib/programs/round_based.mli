@@ -1,0 +1,27 @@
+(** A round-based randomized program (Section 7 of the paper).
+
+    [n] processes play "agreement by luck" through one shared register per
+    process: in each round every process flips a fair coin, writes it to its
+    register, reads all registers, and terminates when all written coins of
+    the current round agree. Each process takes [s = 1] random step per
+    round, and a round succeeds with probability [2^(1-n)], so the program
+    terminates within [T] rounds with probability [1 - (1 - 2^(1-n))^T].
+
+    Per Section 7, running the registers as [O^k] with [k > T * s] blunts a
+    strong adversary for the whole high-probability window; our
+    implementation downgrades to the plain (cheap) methods after [T]
+    rounds via {!Core.Round_based.plain} method names. *)
+
+(** [config ~n ~rounds_before_fallback ~max_rounds ~k] builds the program
+    over ABD registers shared by the [n] processes. After
+    [rounds_before_fallback] rounds each process switches to plain
+    (untransformed) operations; after [max_rounds] it gives up (recorded as
+    a ["gave_up"] outcome). *)
+val config :
+  n:int -> rounds_before_fallback:int -> max_rounds:int -> k:int -> Sim.Runtime.config
+
+(** [agreed_round_of_trace trace ~n ~max_rounds] is [Some r] when every
+    process decided, [r] being the latest deciding round (0-based);
+    [None] when some process gave up. *)
+val agreed_round_of_trace :
+  Sim.Trace.t -> n:int -> max_rounds:int -> int option

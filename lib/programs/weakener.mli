@@ -1,0 +1,53 @@
+(** The weakener program (Algorithm 1 of the paper), distilled from
+    Hadzilacos–Hu–Toueg's weakener.
+
+    Three processes share registers [R] (written by [p0] and [p1], read by
+    [p2]) and [C] (written by [p1], read by [p2]):
+
+    - [p0]: [R := 0]
+    - [p1]: [R := 1]; [C := flip fair coin]
+    - [p2]: [u1 := R]; [u2 := R]; [c := C]; if [u1 = c && u2 = 1 - c] then
+      loop forever else terminate.
+
+    With atomic registers [p2] terminates with probability at least 1/2
+    against any strong adversary; with ABD registers an adversary forces
+    non-termination with probability 1 (Figure 1); with ABD^k the
+    termination probability is bounded below by Theorem 4.2.
+
+    In the simulator [p2] does not actually diverge: the branch it would
+    take is determined by the {e outcome} (the return values of [u1], [u2]
+    and [c]), which is exactly how the paper phrases the bad set [B]. *)
+
+(** [config ~r ~c] assembles the 3-process program over the two register
+    objects, which must be named ["R"] and ["C"]. *)
+val config : r:Sim.Obj_impl.t -> c:Sim.Obj_impl.t -> Sim.Runtime.config
+
+(** Stable outcome tags of [p2]'s three reads. *)
+val tag_u1 : string
+
+val tag_u2 : string
+val tag_c : string
+
+(** [bad outcome] holds when [u1 = c] and [u2 = 1 - c] with [c] in {0, 1} —
+    the set [B] that makes [p2] loop forever. *)
+val bad : History.Outcome.t -> bool
+
+(** [terminates outcome] is [not (bad outcome)]. *)
+val terminates : History.Outcome.t -> bool
+
+(** [n_processes = 3], [r_random_steps = 1] (the single coin flip): the
+    parameters that instantiate Theorem 4.2 for this program. *)
+val n_processes : int
+
+val r_random_steps : int
+
+(** {1 Pre-assembled register choices} *)
+
+(** [atomic_config ()] uses atomic (strongly linearizable) registers. *)
+val atomic_config : unit -> Sim.Runtime.config
+
+(** [abd_config ()] uses plain ABD for both [R] and [C]. *)
+val abd_config : unit -> Sim.Runtime.config
+
+(** [abd_k_config ~k] uses ABD^k for both registers. *)
+val abd_k_config : k:int -> Sim.Runtime.config

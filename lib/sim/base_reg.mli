@@ -1,0 +1,38 @@
+(** Base shared registers.
+
+    Shared-memory implementations (snapshot, Vitányi–Awerbuch, Israeli–Li)
+    are built from registers whose accesses execute atomically — one
+    indivisible simulator step. Registers can be declared single-writer
+    and/or single-reader; the store faults on violations, which lets the test
+    suite check that each construction really uses only the register class
+    the paper allows it. *)
+
+type id = { obj_name : string; reg : string; index : int list }
+(** A register identity: owning object, register family name, indices (e.g.
+    [Report[i][j]] is [{ reg = "report"; index = [i; j] }]). *)
+
+type decl = {
+  id : id;
+  init : Util.Value.t;
+  writers : int list option;  (** [None]: any process may write *)
+  readers : int list option;  (** [None]: any process may read *)
+}
+
+exception Discipline_violation of string
+
+type store
+
+val id : obj_name:string -> ?index:int list -> string -> id
+val pp_id : Format.formatter -> id -> unit
+val create_store : decl list -> store
+
+(** [read store rid ~reader] returns the current value; enforces the reader
+    discipline and that [rid] was declared. *)
+val read : store -> id -> reader:int -> Util.Value.t
+
+(** [write store rid ~writer v]; enforces the writer discipline. *)
+val write : store -> id -> writer:int -> Util.Value.t -> unit
+
+(** [snapshot store] lists all registers with their current values, for
+    debugging and for hashing model states. *)
+val snapshot : store -> (id * Util.Value.t) list

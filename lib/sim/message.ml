@@ -1,0 +1,9 @@
+open Util
+
+type t = { obj_name : string; body : Value.t }
+
+let make ~obj_name body = { obj_name; body }
+let pp ppf t = Fmt.pf ppf "%s:%a" t.obj_name Value.pp t.body
+let tagged tag payload = Value.pair (Value.str tag) payload
+let tag_of body = Value.to_str (fst (Value.to_pair body))
+let payload_of body = snd (Value.to_pair body)

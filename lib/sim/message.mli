@@ -1,0 +1,22 @@
+(** Messages exchanged by object implementations.
+
+    Every message belongs to one shared-object instance ([obj_name]); the
+    runtime routes it and stamps source/destination. Bodies are structured
+    {!Util.Value.t} data so traces stay printable. *)
+
+type t = { obj_name : string; body : Util.Value.t }
+
+val make : obj_name:string -> Util.Value.t -> t
+val pp : Format.formatter -> t -> unit
+
+(** [tagged tag payload] builds the conventional body [Pair (Str tag, payload)]
+    used by all bundled objects (e.g. ["query"], ["reply"], ["update"],
+    ["ack"]). *)
+val tagged : string -> Util.Value.t -> Util.Value.t
+
+(** [tag_of body] extracts the conventional tag; raises
+    {!Util.Value.Type_error} for non-conventional bodies. *)
+val tag_of : Util.Value.t -> string
+
+(** [payload_of body] extracts the conventional payload. *)
+val payload_of : Util.Value.t -> Util.Value.t

@@ -1,0 +1,29 @@
+type handler_result = {
+  state : Util.Value.t;
+  out : (int * Util.Value.t) list;
+}
+
+type t = {
+  name : string;
+  invoke : self:int -> meth:string -> arg:Util.Value.t -> Util.Value.t Proc.t;
+  on_message :
+    (self:int ->
+    state:Util.Value.t ->
+    src:int ->
+    body:Util.Value.t ->
+    handler_result option)
+    option;
+  init_server : (n:int -> self:int -> Util.Value.t) option;
+  registers : n:int -> Base_reg.decl list;
+}
+
+let call o ~self ~tag ~meth ~arg =
+  let open Proc in
+  Op
+    ( Call_marker { obj_name = o.name; meth; arg; tag },
+      fun inv ->
+        bind (o.invoke ~self ~meth ~arg) (fun value ->
+            Op (Ret_marker { inv; value }, fun () -> Ret value)) )
+
+let pure_shared_memory ~name ~registers ~invoke =
+  { name; invoke; on_message = None; init_server = None; registers }

@@ -1,0 +1,43 @@
+(** Shared-object implementations hosted by the runtime.
+
+    An implementation contributes (i) the client-side method code, a
+    {!Proc.t} run by the invoking process, (ii) optionally a server role: a
+    pure handler applied atomically when a message addressed to the object is
+    delivered (I/O-automata style), and (iii) the base registers it needs.
+    The runtime wraps invocations with call/return marker steps so histories
+    come out of traces for free. *)
+
+type handler_result = {
+  state : Util.Value.t;  (** successor server state *)
+  out : (int * Util.Value.t) list;  (** messages sent: (destination, body) *)
+}
+
+type t = {
+  name : string;  (** instance name; also the message namespace *)
+  invoke : self:int -> meth:string -> arg:Util.Value.t -> Util.Value.t Proc.t;
+      (** method body, without call/return markers *)
+  on_message :
+    (self:int ->
+    state:Util.Value.t ->
+    src:int ->
+    body:Util.Value.t ->
+    handler_result option)
+    option;
+      (** server handler; [None] result routes the message to the client
+          mailbox; a [None] field means the object has no server role. *)
+  init_server : (n:int -> self:int -> Util.Value.t) option;
+  registers : n:int -> Base_reg.decl list;
+}
+
+(** [call o ~self ~tag ~meth ~arg] is the method body bracketed by call and
+    return markers; this is what programs bind into their own code. *)
+val call :
+  t -> self:int -> tag:string -> meth:string -> arg:Util.Value.t -> Util.Value.t Proc.t
+
+(** [pure_shared_memory ~name ~registers ~invoke] builds an object with no
+    server role (snapshot, Vitányi–Awerbuch, Israeli–Li). *)
+val pure_shared_memory :
+  name:string ->
+  registers:(n:int -> Base_reg.decl list) ->
+  invoke:(self:int -> meth:string -> arg:Util.Value.t -> Util.Value.t Proc.t) ->
+  t

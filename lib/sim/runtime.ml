@@ -1,0 +1,316 @@
+open Util
+
+type config = {
+  n : int;
+  objects : Obj_impl.t list;
+  program : self:int -> unit Proc.t;
+  enable_crashes : bool;
+  max_crashes : int;
+}
+
+type rand_source = Tape of int array | Gen of Rng.t
+
+exception Tape_exhausted
+
+type event = Step of int | Deliver of int | Crash of int
+
+type in_transit = { msg_id : int; src : int; dst : int; msg : Message.t }
+
+type pstatus = Active of unit Proc.t | Terminated | Crashed_p
+
+type t = {
+  config : config;
+  store : Base_reg.store;
+  procs : pstatus array;
+  mailboxes : (int * Message.t) list ref array;  (* arrival order *)
+  mutable transit : in_transit list;  (* send order *)
+  servers : (string * int, Value.t) Hashtbl.t;
+  inv_objs : (int, string) Hashtbl.t;  (* inv id -> obj name, for returns *)
+  inv_stacks : int list array;
+  trace : Trace.t;
+  mutable next_msg : int;
+  mutable next_inv : int;
+  mutable next_nonce : int;
+  mutable rand_pos : int;
+  mutable crashes : int;
+  rand : rand_source;
+}
+
+let create config rand =
+  let store =
+    Base_reg.create_store
+      (List.concat_map (fun (o : Obj_impl.t) -> o.registers ~n:config.n) config.objects)
+  in
+  let servers = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Obj_impl.t) ->
+      match o.init_server with
+      | None -> ()
+      | Some init ->
+          for p = 0 to config.n - 1 do
+            Hashtbl.replace servers (o.name, p) (init ~n:config.n ~self:p)
+          done)
+    config.objects;
+  {
+    config;
+    store;
+    procs = Array.init config.n (fun p -> Active (config.program ~self:p));
+    mailboxes = Array.init config.n (fun _ -> ref []);
+    transit = [];
+    servers;
+    inv_objs = Hashtbl.create 64;
+    inv_stacks = Array.make config.n [];
+    trace = Trace.create ();
+    next_msg = 0;
+    next_inv = 0;
+    next_nonce = 0;
+    rand_pos = 0;
+    crashes = 0;
+    rand;
+  }
+
+let n t = t.config.n
+let trace t = t.trace
+let history t = Trace.history t.trace
+let outcome t = History.Outcome.of_history (history t)
+let in_transit t = List.rev t.transit
+let mailbox t p = List.rev !(t.mailboxes.(p))
+let is_active t p = match t.procs.(p) with Active _ -> true | _ -> false
+let is_crashed t p = t.procs.(p) = Crashed_p
+
+let current_inv t p = match t.inv_stacks.(p) with [] -> None | i :: _ -> Some i
+let read_register t rid = Base_reg.read t.store rid ~reader:(-1)
+
+let server_state t ~obj_name ~proc = Hashtbl.find_opt t.servers (obj_name, proc)
+let random_results t = Trace.random_draws t.trace
+
+let find_obj t name =
+  match List.find_opt (fun (o : Obj_impl.t) -> o.name = name) t.config.objects with
+  | Some o -> o
+  | None -> Fmt.invalid_arg "unknown object %s" name
+
+let mailbox_has_match t p pred =
+  List.exists (fun (_, m) -> pred m) (mailbox t p)
+
+let head_op_blocked t p =
+  match t.procs.(p) with
+  | Active (Proc.Op (Proc.Recv (_, pred), _)) -> not (mailbox_has_match t p pred)
+  | Active _ | Terminated | Crashed_p -> false
+
+let blocked = head_op_blocked
+
+let next_op_descr t p =
+  match t.procs.(p) with
+  | Terminated -> "terminated"
+  | Crashed_p -> "crashed"
+  | Active (Proc.Ret ()) -> "ret"
+  | Active (Proc.Op (op, _)) -> (
+      match op with
+      | Proc.Broadcast m -> "broadcast:" ^ m.obj_name
+      | Proc.Send (_, m) -> "send:" ^ m.obj_name
+      | Proc.Recv (descr, _) -> "recv:" ^ descr
+      | Proc.Read_reg r -> Fmt.str "read_reg:%a" Base_reg.pp_id r
+      | Proc.Write_reg (r, _) -> Fmt.str "write_reg:%a" Base_reg.pp_id r
+      | Proc.Rmw_reg (r, _) -> Fmt.str "rmw_reg:%a" Base_reg.pp_id r
+      | Proc.Random _ -> "random"
+      | Proc.Fresh -> "fresh"
+      | Proc.Label l -> "label:" ^ l
+      | Proc.Note (name, _) -> "note:" ^ name
+      | Proc.Call_marker { obj_name; meth; _ } -> Fmt.str "call:%s.%s" obj_name meth
+      | Proc.Ret_marker _ -> "ret_marker")
+
+let enabled t =
+  let steps =
+    List.filter_map
+      (fun p ->
+        match t.procs.(p) with
+        | Active _ when not (head_op_blocked t p) -> Some (Step p)
+        | Active _ | Terminated | Crashed_p -> None)
+      (List.init t.config.n Fun.id)
+  in
+  let delivers =
+    List.filter_map
+      (fun (m : in_transit) ->
+        if is_crashed t m.dst then None else Some (Deliver m.msg_id))
+      (in_transit t)
+  in
+  let crashes =
+    if t.config.enable_crashes && t.crashes < t.config.max_crashes then
+      List.filter_map
+        (fun p -> if is_active t p then Some (Crash p) else None)
+        (List.init t.config.n Fun.id)
+    else []
+  in
+  steps @ delivers @ crashes
+
+exception Not_enabled of event
+
+let draw_random t bound =
+  match t.rand with
+  | Gen rng -> Rng.int rng bound
+  | Tape tape ->
+      if t.rand_pos >= Array.length tape then raise Tape_exhausted
+      else begin
+        let v = tape.(t.rand_pos) mod bound in
+        t.rand_pos <- t.rand_pos + 1;
+        v
+      end
+
+let enqueue_message t ~src ~dst msg =
+  let msg_id = t.next_msg in
+  t.next_msg <- msg_id + 1;
+  t.transit <- { msg_id; src; dst; msg } :: t.transit;
+  Trace.add t.trace (Trace.Sent { msg_id; src; dst; msg; inv = current_inv t src });
+  msg_id
+
+let deliver t msg_id =
+  let rec extract acc = function
+    | [] -> raise (Not_enabled (Deliver msg_id))
+    | (m : in_transit) :: rest when m.msg_id = msg_id -> (m, List.rev_append acc rest)
+    | m :: rest -> extract (m :: acc) rest
+  in
+  let m, rest = extract [] t.transit in
+  if is_crashed t m.dst then raise (Not_enabled (Deliver msg_id));
+  t.transit <- rest;
+  let obj = find_obj t m.msg.obj_name in
+  let handled =
+    match (obj.on_message, obj.init_server) with
+    | Some handler, Some _ -> (
+        let state = Hashtbl.find t.servers (obj.name, m.dst) in
+        match handler ~self:m.dst ~state ~src:m.src ~body:m.msg.body with
+        | Some { state = state'; out } ->
+            Hashtbl.replace t.servers (obj.name, m.dst) state';
+            List.iter
+              (fun (dst, body) ->
+                ignore
+                  (enqueue_message t ~src:m.dst ~dst
+                     (Message.make ~obj_name:obj.name body)))
+              out;
+            true
+        | None -> false)
+    | _ -> false
+  in
+  if not handled then
+    t.mailboxes.(m.dst) := (m.msg_id, m.msg) :: !(t.mailboxes.(m.dst));
+  Trace.add t.trace
+    (Trace.Delivered { msg_id = m.msg_id; src = m.src; dst = m.dst; msg = m.msg; handled })
+
+let consume_matching t p pred =
+  (* the mailbox is stored newest-first; consume the oldest matching message *)
+  let oldest_first = List.rev !(t.mailboxes.(p)) in
+  match List.find_opt (fun (_, m) -> pred m) oldest_first with
+  | None -> None
+  | Some (id, m) ->
+      t.mailboxes.(p) := List.filter (fun (id', _) -> id' <> id) !(t.mailboxes.(p));
+      Some (id, m)
+
+let step_process t p =
+  match t.procs.(p) with
+  | Terminated | Crashed_p -> raise (Not_enabled (Step p))
+  | Active (Proc.Ret ()) -> t.procs.(p) <- Terminated
+  | Active (Proc.Op (op, k)) ->
+      let continue : type a. a -> (a -> unit Proc.t) -> unit =
+       fun v k -> t.procs.(p) <- Active (k v)
+      in
+      let inv = current_inv t p in
+      (match op with
+      | Proc.Broadcast msg ->
+          for dst = 0 to t.config.n - 1 do
+            ignore (enqueue_message t ~src:p ~dst msg)
+          done;
+          continue () k
+      | Proc.Send (dst, msg) ->
+          ignore (enqueue_message t ~src:p ~dst msg);
+          continue () k
+      | Proc.Recv (_descr, pred) -> (
+          match consume_matching t p pred with
+          | None -> raise (Not_enabled (Step p))
+          | Some (msg_id, msg) ->
+              Trace.add t.trace (Trace.Received { msg_id; proc = p; msg; inv });
+              continue msg k)
+      | Proc.Read_reg r ->
+          let value = Base_reg.read t.store r ~reader:p in
+          Trace.add t.trace (Trace.Reg_read { proc = p; reg = r; value; inv });
+          continue value k
+      | Proc.Write_reg (r, value) ->
+          Base_reg.write t.store r ~writer:p value;
+          Trace.add t.trace (Trace.Reg_write { proc = p; reg = r; value; inv });
+          continue () k
+      | Proc.Rmw_reg (r, f) ->
+          let cur = Base_reg.read t.store r ~reader:p in
+          let stored, result = f cur in
+          Base_reg.write t.store r ~writer:p stored;
+          Trace.add t.trace (Trace.Reg_write { proc = p; reg = r; value = stored; inv });
+          continue result k
+      | Proc.Random (bound, kind) ->
+          let result = draw_random t bound in
+          Trace.add t.trace (Trace.Randomized { proc = p; kind; bound; result; inv });
+          continue result k
+      | Proc.Fresh ->
+          let v = t.next_nonce in
+          t.next_nonce <- v + 1;
+          continue v k
+      | Proc.Label name ->
+          Trace.add t.trace (Trace.Labeled { proc = p; name; inv });
+          continue () k
+      | Proc.Note (name, value) ->
+          Trace.add t.trace (Trace.Noted { proc = p; name; value; inv });
+          continue () k
+      | Proc.Call_marker { obj_name; meth; arg; tag } ->
+          let i = t.next_inv in
+          t.next_inv <- i + 1;
+          t.inv_stacks.(p) <- i :: t.inv_stacks.(p);
+          Hashtbl.replace t.inv_objs i obj_name;
+          Trace.add t.trace
+            (Trace.Action
+               (History.Action.Call { obj_name; meth; arg; inv = i; proc = p; tag }));
+          continue i k
+      | Proc.Ret_marker { inv = i; value } ->
+          (match t.inv_stacks.(p) with
+          | top :: rest when top = i -> t.inv_stacks.(p) <- rest
+          | _ -> Fmt.invalid_arg "Ret_marker: invocation %d not open at p%d" i p);
+          let obj_name =
+            Option.value ~default:"?" (Hashtbl.find_opt t.inv_objs i)
+          in
+          Trace.add t.trace
+            (Trace.Action (History.Action.Ret { inv = i; value; proc = p; obj_name }));
+          continue () k)
+
+let step t e =
+  match e with
+  | Step p -> step_process t p
+  | Deliver id -> deliver t id
+  | Crash p ->
+      if (not t.config.enable_crashes) || t.crashes >= t.config.max_crashes then
+        raise (Not_enabled e);
+      (match t.procs.(p) with
+      | Active _ ->
+          t.procs.(p) <- Crashed_p;
+          t.crashes <- t.crashes + 1;
+          Trace.add t.trace (Trace.Crashed p)
+      | Terminated | Crashed_p -> raise (Not_enabled e))
+
+let finished t =
+  Array.for_all (function Active _ -> false | Terminated | Crashed_p -> true) t.procs
+
+type run_result = Completed | Deadlocked | Step_limit_reached
+
+let run t ~max_steps choose =
+  let rec go remaining =
+    if finished t then Completed
+    else if remaining = 0 then Step_limit_reached
+    else
+      match enabled t with
+      | [] -> Deadlocked
+      | evs ->
+          step t (choose t evs);
+          go (remaining - 1)
+  in
+  go max_steps
+
+let run_schedule t events = List.iter (step t) events
+
+let pp_event ppf = function
+  | Step p -> Fmt.pf ppf "step(p%d)" p
+  | Deliver id -> Fmt.pf ppf "deliver(m%d)" id
+  | Crash p -> Fmt.pf ppf "crash(p%d)" p

@@ -1,0 +1,101 @@
+(** The simulator runtime.
+
+    A runtime instance holds the global state of one program execution: per
+    process the remaining {!Proc.t} code and mailbox, the in-transit message
+    multiset, the base-register store, per-object server states, and the
+    trace. Executions advance one {!event} at a time; the set of enabled
+    events is exactly the scheduling freedom the paper's strong adversary
+    enjoys (which process steps next, which in-transit message is delivered
+    next, optionally which process crashes).
+
+    Executions are deterministic: the same configuration, random tape and
+    event sequence yield the same trace — the paper's [e\[P(O), v, s\]]. *)
+
+type config = {
+  n : int;  (** number of processes, ids [0 .. n-1] *)
+  objects : Obj_impl.t list;
+  program : self:int -> unit Proc.t;  (** per-process top-level code *)
+  enable_crashes : bool;
+  max_crashes : int;
+}
+
+(** Where random steps draw their results from. *)
+type rand_source =
+  | Tape of int array
+      (** the i-th random step returns [tape.(i) mod bound]; running past the
+          end raises [Tape_exhausted] *)
+  | Gen of Util.Rng.t
+
+exception Tape_exhausted
+
+type event =
+  | Step of int  (** process [p] resolves its next operation *)
+  | Deliver of int  (** deliver in-transit message with this id *)
+  | Crash of int
+
+type in_transit = { msg_id : int; src : int; dst : int; msg : Message.t }
+type t
+
+val create : config -> rand_source -> t
+
+(** {1 Stepping} *)
+
+(** [enabled t] lists the events the adversary may choose from, in a
+    deterministic order. *)
+val enabled : t -> event list
+
+exception Not_enabled of event
+
+(** [step t e] applies one event. Raises [Not_enabled] if [e] is not
+    currently enabled. *)
+val step : t -> event -> unit
+
+(** [finished t] holds when every process has terminated or crashed. *)
+val finished : t -> bool
+
+type run_result = Completed | Deadlocked | Step_limit_reached
+
+(** [run t ~max_steps choose] repeatedly asks [choose] for the next event.
+    [choose] receives the full runtime (strong adversary: it observes
+    everything, including past random results) and the enabled events. *)
+val run : t -> max_steps:int -> (t -> event list -> event) -> run_result
+
+(** [run_schedule t events] replays an explicit schedule; raises
+    [Not_enabled] on a mismatch. *)
+val run_schedule : t -> event list -> unit
+
+(** {1 Observation (for adversaries, checkers and reports)} *)
+
+val n : t -> int
+val trace : t -> Trace.t
+val history : t -> History.Hist.t
+val outcome : t -> History.Outcome.t
+val in_transit : t -> in_transit list
+val mailbox : t -> int -> (int * Message.t) list
+val is_active : t -> int -> bool
+val is_crashed : t -> int -> bool
+
+(** [blocked t p] holds when [p] is active but its next operation is a [Recv]
+    with no matching mailbox message. *)
+val blocked : t -> int -> bool
+
+(** [current_inv t p] is the innermost open invocation of process [p]. *)
+val current_inv : t -> int -> int option
+
+(** [read_register t rid] peeks at a base register without discipline checks
+    (observation only). *)
+val read_register : t -> Base_reg.id -> Util.Value.t
+
+(** [server_state t ~obj_name ~proc] is the server state of [obj_name] at
+    process [proc], if that object has a server role. *)
+val server_state : t -> obj_name:string -> proc:int -> Util.Value.t option
+
+(** [random_results t] lists results of the random steps taken so far. *)
+val random_results : t -> (Proc.rand_kind * int * int) list
+
+(** [next_op_descr t p] is a short description of the operation process [p]
+    will perform on its next step, for adversaries that pattern-match on it
+    (e.g. ["recv:reply"], ["broadcast"], ["random"], ["ret"]). *)
+val next_op_descr : t -> int -> string
+
+val pp_event : Format.formatter -> event -> unit

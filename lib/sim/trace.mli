@@ -1,0 +1,57 @@
+(** Execution traces.
+
+    The runtime records every visible step; the history (call/return actions
+    only) is a projection, and the richer entries drive the linearizability
+    checkers (which need to know which control points an invocation passed)
+    and the experiment reports (message and step counts). *)
+
+type entry =
+  | Action of History.Action.t
+  | Reg_read of { proc : int; reg : Base_reg.id; value : Util.Value.t; inv : int option }
+  | Reg_write of { proc : int; reg : Base_reg.id; value : Util.Value.t; inv : int option }
+  | Sent of { msg_id : int; src : int; dst : int; msg : Message.t; inv : int option }
+  | Delivered of { msg_id : int; src : int; dst : int; msg : Message.t; handled : bool }
+  | Received of { msg_id : int; proc : int; msg : Message.t; inv : int option }
+      (** a client consumed the message from its mailbox via [Recv] *)
+  | Randomized of {
+      proc : int;
+      kind : Proc.rand_kind;
+      bound : int;
+      result : int;
+      inv : int option;
+    }
+  | Labeled of { proc : int; name : string; inv : int option }
+  | Noted of { proc : int; name : string; value : Util.Value.t; inv : int option }
+  | Crashed of int
+
+type t
+
+val create : unit -> t
+val add : t -> entry -> unit
+
+(** [entries t] in temporal order. *)
+val entries : t -> entry list
+
+(** [history t] is the projection on call/return actions. *)
+val history : t -> History.Hist.t
+
+(** [labels_of_inv t inv] lists the control points passed by invocation
+    [inv], in order. *)
+val labels_of_inv : t -> int -> string list
+
+(** [passed t ~inv ~lbl] holds when the invocation took a step at control
+    point [lbl] (the paper's "passed" predicate, Section 3). *)
+val passed : t -> inv:int -> lbl:string -> bool
+
+(** [random_draws t] lists the random steps in order. *)
+val random_draws : t -> (Proc.rand_kind * int * int) list
+(** (kind, bound, result) triples. *)
+
+(** [count_messages t] is the number of sends recorded. *)
+val count_messages : t -> int
+
+(** [count_steps t] is the total number of entries. *)
+val count_steps : t -> int
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

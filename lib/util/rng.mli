@@ -1,0 +1,39 @@
+(** Deterministic splittable pseudo-random generator (splitmix64).
+
+    The simulator never touches OCaml's global [Random] state: every source of
+    randomness is an explicit [Rng.t] so that executions are reproducible from
+    a seed and independent streams can be split off for parallel experiments. *)
+
+type t
+
+(** [create seed] builds a generator from a 64-bit seed. *)
+val create : int64 -> t
+
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+val of_int : int -> t
+
+(** [copy t] is an independent generator with the same future output. *)
+val copy : t -> t
+
+(** [split t] returns a fresh generator whose stream is statistically
+    independent from the remainder of [t]'s. *)
+val split : t -> t
+
+(** [bits64 t] draws 64 uniformly random bits. *)
+val bits64 : t -> int64
+
+(** [int t n] draws uniformly from [0 .. n-1]. Raises [Invalid_argument] when
+    [n <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] draws a fair boolean. *)
+val bool : t -> bool
+
+(** [float t] draws uniformly from [0, 1). *)
+val float : t -> float
+
+(** [pick t xs] draws a uniformly random element of the non-empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [shuffle t xs] is a uniformly random permutation of [xs]. *)
+val shuffle : t -> 'a list -> 'a list

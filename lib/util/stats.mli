@@ -1,0 +1,18 @@
+(** Small statistics helpers for Monte-Carlo experiment reporting. *)
+
+(** [mean xs] is the arithmetic mean; 0 for the empty list. *)
+val mean : float list -> float
+
+(** [variance xs] is the unbiased sample variance; 0 for fewer than 2 points. *)
+val variance : float list -> float
+
+(** [stddev xs] is [sqrt (variance xs)]. *)
+val stddev : float list -> float
+
+(** [binomial_ci ~successes ~trials] is the 95% Wilson score interval for a
+    Bernoulli success probability. Returns [(lo, hi)]. *)
+val binomial_ci : successes:int -> trials:int -> float * float
+
+(** [fraction ~successes ~trials] is the empirical success rate (0 when
+    [trials = 0]). *)
+val fraction : successes:int -> trials:int -> float

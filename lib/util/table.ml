@@ -1,0 +1,26 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+let add_row t cells = t.rows <- cells :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.headers) rows
+  in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = pad t.headers :: List.map pad rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row
+  in
+  List.iter measure all;
+  let line row =
+    String.concat "  " (List.mapi (fun i c -> c ^ String.make (widths.(i) - String.length c) ' ') row)
+  in
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  match all with
+  | header :: body -> String.concat "\n" (line header :: rule :: List.map line body)
+  | [] -> ""
+
+let print t = print_endline (render t)

@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the benchmark harness output. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row; short rows are padded with blanks. *)
+val add_row : t -> string list -> unit
+
+(** [render t] lays the table out with aligned columns and a header rule. *)
+val render : t -> string
+
+(** [print t] writes [render t] to stdout followed by a newline. *)
+val print : t -> unit

@@ -1,0 +1,93 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+let unit = Unit
+let bool b = Bool b
+let int n = Int n
+let str s = Str s
+let pair a b = Pair (a, b)
+let list l = List l
+let triple a b c = Pair (a, Pair (b, c))
+let none = Str "\xe2\x8a\xa5" (* ⊥ *)
+let some v = Pair (Str "some", v)
+
+exception Type_error of string * t
+
+let type_error expected v = raise (Type_error (expected, v))
+
+let to_bool = function Bool b -> b | v -> type_error "bool" v
+let to_int = function Int n -> n | v -> type_error "int" v
+let to_str = function Str s -> s | v -> type_error "str" v
+let to_pair = function Pair (a, b) -> (a, b) | v -> type_error "pair" v
+let to_list = function List l -> l | v -> type_error "list" v
+
+let to_triple = function
+  | Pair (a, Pair (b, c)) -> (a, b, c)
+  | v -> type_error "triple" v
+
+let to_option = function
+  | Str "\xe2\x8a\xa5" -> None
+  | Pair (Str "some", v) -> Some v
+  | v -> type_error "option" v
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Pair (x1, x2), Pair (y1, y2) -> equal x1 y1 && equal x2 y2
+  | List xs, List ys -> ( try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | (Unit | Bool _ | Int _ | Str _ | Pair _ | List _), _ -> false
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Bool x, Bool y -> Bool.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Pair (x1, x2), Pair (y1, y2) ->
+      let c = compare x1 y1 in
+      if c <> 0 then c else compare x2 y2
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | List xs, List ys -> List.compare compare xs ys
+
+let rec hash = function
+  | Unit -> 17
+  | Bool b -> if b then 29 else 31
+  | Int n -> Hashtbl.hash n
+  | Str s -> Hashtbl.hash s
+  | Pair (a, b) -> (hash a * 65599) + hash b
+  | List l -> List.fold_left (fun acc v -> (acc * 131) + hash v) 7 l
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Str s -> Fmt.string ppf s
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | List l -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp) l
+
+let to_string v = Fmt.str "%a" pp v
+let ts n i = Pair (Int n, Int i)
+
+let ts_compare a b =
+  let n1, i1 = to_pair a and n2, i2 = to_pair b in
+  let c = Int.compare (to_int n1) (to_int n2) in
+  if c <> 0 then c else Int.compare (to_int i1) (to_int i2)
+
+let ts_zero = ts 0 0

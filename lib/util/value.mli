@@ -1,0 +1,64 @@
+(** Universal data values.
+
+    Registers, messages, operation arguments/results and server states in the
+    simulator all carry values of this single type, so that every trace is
+    printable, every state is comparable and hashable, and no part of the
+    substrate needs to be functorized over a value type. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+(** {1 Constructors} *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+(** [triple a b c] is [Pair (a, Pair (b, c))]. *)
+val triple : t -> t -> t -> t
+
+(** [none] encodes an absent value (the register initial value ⊥). *)
+val none : t
+
+(** [some v] tags [v] as present; [none]/[some] round-trip via {!to_option}. *)
+val some : t -> t
+
+(** {1 Destructors}
+
+    Each raises [Type_error] when the value has the wrong shape; object
+    implementations use them as dynamic type assertions. *)
+
+exception Type_error of string * t
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_str : t -> string
+val to_pair : t -> t * t
+val to_list : t -> t list
+val to_triple : t -> t * t * t
+val to_option : t -> t option
+
+(** {1 Comparison, hashing, printing} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Timestamps}
+
+    ABD-style timestamps are [(integer, process id)] pairs compared
+    lexicographically; they are pervasive enough to deserve helpers. *)
+
+val ts : int -> int -> t
+val ts_compare : t -> t -> int
+val ts_zero : t

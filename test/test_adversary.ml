@@ -1,0 +1,126 @@
+(* Tests for schedulers, Monte-Carlo estimation, and the Figure 1 scripted
+   strong adversary against the real simulated ABD. *)
+
+open Sim
+
+let test_figure1_wins_both_coins () =
+  Alcotest.(check bool) "adversary forces non-termination" true
+    (Adversary.Figure1.always_wins ())
+
+let test_figure1_traces_linearizable () =
+  (* even while being defeated probabilistically, ABD stays linearizable *)
+  let spec_r = History.Spec.register ~init:Util.Value.none in
+  let spec_c = History.Spec.register ~init:(Util.Value.int (-1)) in
+  List.iter
+    (fun coin ->
+      let t = Adversary.Figure1.run ~coin in
+      let h = Runtime.history t in
+      Alcotest.(check bool)
+        (Fmt.str "R linearizable (coin %d)" coin)
+        true
+        (Lin.Check.check spec_r (History.Hist.project_obj h "R"));
+      Alcotest.(check bool)
+        (Fmt.str "C linearizable (coin %d)" coin)
+        true
+        (Lin.Check.check spec_c (History.Hist.project_obj h "C")))
+    [ 0; 1 ]
+
+let test_figure1_outcome_details () =
+  (* coin 0: u1 = 0, u2 = 1; coin 1: u1 = 1, u2 = 0 *)
+  List.iter
+    (fun coin ->
+      let t = Adversary.Figure1.run ~coin in
+      let o = Runtime.outcome t in
+      let get tag =
+        match History.Outcome.find1 o tag with
+        | Some (Util.Value.Int v) -> v
+        | _ -> Alcotest.failf "missing %s" tag
+      in
+      Alcotest.(check int) (Fmt.str "u1 (coin %d)" coin) coin (get Programs.Weakener.tag_u1);
+      Alcotest.(check int) (Fmt.str "u2 (coin %d)" coin) (1 - coin) (get Programs.Weakener.tag_u2);
+      Alcotest.(check int) (Fmt.str "c (coin %d)" coin) coin (get Programs.Weakener.tag_c))
+    [ 0; 1 ]
+
+let test_figure1_is_strong_adversary () =
+  (* the schedule prefixes up to (and including) the coin flip coincide for
+     both tapes: the script does not peek at future randomness *)
+  let entries_until_flip t =
+    let rec take acc = function
+      | [] -> List.rev acc
+      | Trace.Randomized { kind = Proc.Program_random; _ } :: _ -> List.rev acc
+      | e :: rest -> take (e :: acc) rest
+    in
+    take [] (Trace.entries (Runtime.trace t))
+  in
+  let t0 = Adversary.Figure1.run ~coin:0 in
+  let t1 = Adversary.Figure1.run ~coin:1 in
+  let show t = Fmt.str "%a" (Fmt.list ~sep:Fmt.cut Trace.pp_entry) (entries_until_flip t) in
+  Alcotest.(check string) "common prefix" (show t0) (show t1)
+
+let test_monte_carlo_atomic_weakener () =
+  (* random (fair) scheduling is far from adversarial: bad is rare *)
+  let r =
+    Adversary.Monte_carlo.estimate ~trials:300 ~seed:11
+      ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
+      Programs.Weakener.atomic_config
+  in
+  Alcotest.(check bool) "well below adversarial 1/2" true (r.fraction < 0.3)
+
+let test_monte_carlo_abd_weakener_completes () =
+  let r =
+    Adversary.Monte_carlo.estimate ~trials:100 ~seed:13
+      ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
+      Programs.Weakener.abd_config
+  in
+  Alcotest.(check int) "all trials ran" 100 r.trials;
+  Alcotest.(check bool) "ci sane" true (r.ci_low <= r.fraction && r.fraction <= r.ci_high)
+
+let test_round_robin_scheduler_completes () =
+  let config = Programs.Weakener.abd_config () in
+  let t = Runtime.create config (Runtime.Gen (Util.Rng.of_int 5)) in
+  match Runtime.run t ~max_steps:100_000 (Adversary.Schedulers.round_robin ()) with
+  | Runtime.Completed -> ()
+  | Runtime.Deadlocked -> Alcotest.fail "deadlock"
+  | Runtime.Step_limit_reached -> Alcotest.fail "step limit"
+
+let test_eager_delivery_completes () =
+  let config = Programs.Weakener.abd_k_config ~k:3 in
+  let t = Runtime.create config (Runtime.Gen (Util.Rng.of_int 5)) in
+  match Runtime.run t ~max_steps:200_000 Adversary.Schedulers.eager_delivery with
+  | Runtime.Completed -> ()
+  | Runtime.Deadlocked -> Alcotest.fail "deadlock"
+  | Runtime.Step_limit_reached -> Alcotest.fail "step limit"
+
+let test_prefer_process () =
+  (* preferring p2 starves nobody here but biases the interleaving; the
+     run must still complete and stay linearizable *)
+  let config = Programs.Weakener.abd_config () in
+  let t = Runtime.create config (Runtime.Gen (Util.Rng.of_int 9)) in
+  let sched =
+    Adversary.Schedulers.prefer_process 2 Adversary.Schedulers.eager_delivery
+  in
+  (match Runtime.run t ~max_steps:100_000 sched with
+  | Runtime.Completed -> ()
+  | _ -> Alcotest.fail "did not complete");
+  let spec = History.Spec.register ~init:Util.Value.none in
+  Alcotest.(check bool) "R linearizable" true
+    (Lin.Check.check spec (History.Hist.project_obj (Runtime.history t) "R"))
+
+let tests =
+  [
+    Alcotest.test_case "Figure 1 adversary wins for both coins" `Quick
+      test_figure1_wins_both_coins;
+    Alcotest.test_case "Figure 1 traces stay linearizable" `Quick
+      test_figure1_traces_linearizable;
+    Alcotest.test_case "Figure 1 outcome values match A.2" `Quick
+      test_figure1_outcome_details;
+    Alcotest.test_case "Figure 1 script is a strong adversary" `Quick
+      test_figure1_is_strong_adversary;
+    Alcotest.test_case "Monte Carlo: fair scheduling is benign" `Quick
+      test_monte_carlo_atomic_weakener;
+    Alcotest.test_case "Monte Carlo: ABD weakener estimation" `Quick
+      test_monte_carlo_abd_weakener_completes;
+    Alcotest.test_case "round-robin scheduler" `Quick test_round_robin_scheduler_completes;
+    Alcotest.test_case "eager-delivery scheduler" `Quick test_eager_delivery_completes;
+    Alcotest.test_case "prefer-process scheduler" `Quick test_prefer_process;
+  ]

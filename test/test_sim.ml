@@ -1,0 +1,277 @@
+(* Tests for the simulator substrate: determinism, mailboxes, registers,
+   enabledness, crash handling. *)
+
+open Util
+open Sim
+open Sim.Proc.Syntax
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* A trivial one-object configuration: each process writes then reads an
+   atomic register. *)
+let trivial_config () =
+  let reg = Objects.Atomic_register.make ~name:"X" ~init:Value.none in
+  let program ~self =
+    let* _ =
+      Obj_impl.call reg ~self ~tag:"w" ~meth:"write" ~arg:(Value.int self)
+    in
+    let* _ = Obj_impl.call reg ~self ~tag:"r" ~meth:"read" ~arg:Value.unit in
+    Proc.return ()
+  in
+  {
+    Runtime.n = 3;
+    objects = [ reg ];
+    program;
+    enable_crashes = false;
+    max_crashes = 0;
+  }
+
+let test_trivial_completes () =
+  let t = Scheds.run_random (trivial_config ()) in
+  Alcotest.(check bool) "finished" true (Runtime.finished t);
+  let h = Runtime.history t in
+  Alcotest.(check int) "six operations" 6 (List.length (History.Hist.ops h))
+
+let test_determinism_same_schedule () =
+  (* record the schedule of one run, replay it, compare traces *)
+  let rng = Rng.of_int 7 in
+  let t1 = Runtime.create (trivial_config ()) (Runtime.Gen (Rng.copy rng)) in
+  let sched = ref [] in
+  let choose _t evs =
+    let e = Rng.pick rng evs in
+    sched := e :: !sched;
+    e
+  in
+  (match Runtime.run t1 ~max_steps:10_000 choose with
+  | Runtime.Completed -> ()
+  | _ -> Alcotest.fail "run did not complete");
+  let t2 = Runtime.create (trivial_config ()) (Runtime.Gen (Rng.of_int 9)) in
+  Runtime.run_schedule t2 (List.rev !sched);
+  let show t = Fmt.str "%a" Trace.pp (Runtime.trace t) in
+  Alcotest.(check string) "same trace" (show t1) (show t2)
+
+let test_mailbox_fifo () =
+  (* p0 sends three tagged messages to p1; p1 receives them in delivery
+     order when the scheduler delivers in send order *)
+  let dummy : Obj_impl.t =
+    {
+      name = "chan";
+      invoke = (fun ~self:_ ~meth:_ ~arg:_ -> Proc.return Value.unit);
+      on_message = None;
+      init_server = None;
+      registers = (fun ~n:_ -> []);
+    }
+  in
+  let got = ref [] in
+  let program ~self =
+    match self with
+    | 0 ->
+        Proc.iter [ 1; 2; 3 ] (fun i ->
+            Proc.send 1 (Message.make ~obj_name:"chan" (Value.int i)))
+    | 1 ->
+        let* () =
+          Proc.iter [ (); (); () ] (fun () ->
+              let* m = Proc.recv ~descr:"any" (fun _ -> true) in
+              got := Value.to_int m.body :: !got;
+              Proc.return ())
+        in
+        Proc.return ()
+    | _ -> Proc.return ()
+  in
+  let config =
+    {
+      Runtime.n = 2;
+      objects = [ dummy ];
+      program;
+      enable_crashes = false;
+      max_crashes = 0;
+    }
+  in
+  let t = Runtime.create config (Runtime.Gen (Rng.of_int 1)) in
+  (* deliver in send order, then let p1 drain *)
+  let choose _t evs =
+    match
+      List.find_opt (function Runtime.Deliver _ -> true | _ -> false) evs
+    with
+    | Some e -> e
+    | None -> (
+        match
+          List.find_opt (function Runtime.Step 0 -> true | _ -> false) evs
+        with
+        | Some e -> e
+        | None -> List.hd evs)
+  in
+  (match Runtime.run t ~max_steps:1000 choose with
+  | Runtime.Completed -> ()
+  | _ -> Alcotest.fail "did not complete");
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (List.rev !got)
+
+let test_recv_blocks () =
+  let dummy : Obj_impl.t =
+    {
+      name = "chan";
+      invoke = (fun ~self:_ ~meth:_ ~arg:_ -> Proc.return Value.unit);
+      on_message = None;
+      init_server = None;
+      registers = (fun ~n:_ -> []);
+    }
+  in
+  let program ~self =
+    match self with
+    | 0 ->
+        let* _ = Proc.recv ~descr:"never" (fun _ -> true) in
+        Proc.return ()
+    | _ -> Proc.return ()
+  in
+  let config =
+    {
+      Runtime.n = 1;
+      objects = [ dummy ];
+      program;
+      enable_crashes = false;
+      max_crashes = 0;
+    }
+  in
+  let t = Runtime.create config (Runtime.Gen (Rng.of_int 1)) in
+  Alcotest.(check bool) "p0 blocked" true (Runtime.blocked t 0);
+  Alcotest.(check int) "nothing enabled" 0 (List.length (Runtime.enabled t));
+  Alcotest.(check bool) "not finished" false (Runtime.finished t)
+
+let test_register_discipline () =
+  (* a register writable only by process 0; process 1 writing must fault *)
+  let rid = Base_reg.id ~obj_name:"o" "r" in
+  let obj : Obj_impl.t =
+    {
+      name = "o";
+      invoke = (fun ~self:_ ~meth:_ ~arg:_ -> Proc.return Value.unit);
+      on_message = None;
+      init_server = None;
+      registers =
+        (fun ~n:_ ->
+          [ { Base_reg.id = rid; init = Value.int 0; writers = Some [ 0 ]; readers = None } ]);
+    }
+  in
+  let program ~self =
+    if self = 1 then Proc.write_reg rid (Value.int 5) else Proc.return ()
+  in
+  let config =
+    {
+      Runtime.n = 2;
+      objects = [ obj ];
+      program;
+      enable_crashes = false;
+      max_crashes = 0;
+    }
+  in
+  let t = Runtime.create config (Runtime.Gen (Rng.of_int 1)) in
+  Alcotest.check_raises "discipline violation"
+    (Base_reg.Discipline_violation "process 1 may not write o.r")
+    (fun () -> Runtime.step t (Runtime.Step 1))
+
+let test_tape_randomness () =
+  let dummy : Obj_impl.t =
+    {
+      name = "o";
+      invoke = (fun ~self:_ ~meth:_ ~arg:_ -> Proc.return Value.unit);
+      on_message = None;
+      init_server = None;
+      registers = (fun ~n:_ -> []);
+    }
+  in
+  let drawn = ref [] in
+  let program ~self:_ =
+    let* a = Proc.random ~kind:Proc.Program_random 10 in
+    let* b = Proc.random ~kind:Proc.Program_random 4 in
+    drawn := [ a; b ];
+    Proc.return ()
+  in
+  let config =
+    {
+      Runtime.n = 1;
+      objects = [ dummy ];
+      program;
+      enable_crashes = false;
+      max_crashes = 0;
+    }
+  in
+  let t = Runtime.create config (Runtime.Tape [| 7; 6 |]) in
+  (match Runtime.run t ~max_steps:100 (fun _ evs -> List.hd evs) with
+  | Runtime.Completed -> ()
+  | _ -> Alcotest.fail "did not complete");
+  Alcotest.(check (list int)) "tape respected (6 mod 4 = 2)" [ 7; 2 ] !drawn
+
+let test_tape_exhaustion () =
+  let dummy : Obj_impl.t =
+    {
+      name = "o";
+      invoke = (fun ~self:_ ~meth:_ ~arg:_ -> Proc.return Value.unit);
+      on_message = None;
+      init_server = None;
+      registers = (fun ~n:_ -> []);
+    }
+  in
+  let program ~self:_ =
+    let* _ = Proc.random ~kind:Proc.Program_random 2 in
+    Proc.return ()
+  in
+  let config =
+    {
+      Runtime.n = 1;
+      objects = [ dummy ];
+      program;
+      enable_crashes = false;
+      max_crashes = 0;
+    }
+  in
+  let t = Runtime.create config (Runtime.Tape [||]) in
+  Alcotest.check_raises "exhausted" Runtime.Tape_exhausted (fun () ->
+      Runtime.step t (Runtime.Step 0))
+
+let test_crash_event () =
+  let config = { (trivial_config ()) with enable_crashes = true; max_crashes = 1 } in
+  let t = Runtime.create config (Runtime.Gen (Rng.of_int 1)) in
+  Runtime.step t (Runtime.Crash 2);
+  Alcotest.(check bool) "p2 crashed" true (Runtime.is_crashed t 2);
+  (* no more crash events should be enabled (max_crashes = 1) *)
+  let crashes =
+    List.filter (function Runtime.Crash _ -> true | _ -> false) (Runtime.enabled t)
+  in
+  Alcotest.(check int) "no further crash enabled" 0 (List.length crashes)
+
+let test_history_well_formed () =
+  let t = Scheds.run_random ~seed:3 (trivial_config ()) in
+  Alcotest.(check bool) "well formed" true (History.Hist.well_formed (Runtime.history t))
+
+let test_outcome_extraction () =
+  let t = Scheds.run_random ~seed:5 (trivial_config ()) in
+  let outcome = Runtime.outcome t in
+  (* every process reads some value previously written (0, 1 or 2) *)
+  List.iter
+    (fun occ ->
+      match History.Outcome.find outcome ~tag:"r" ~occurrence:occ with
+      | Some (Value.Int v) -> Alcotest.(check bool) "read a written id" true (v >= 0 && v <= 2)
+      | Some other -> Alcotest.failf "unexpected read %a" Value.pp other
+      | None -> Alcotest.fail "missing read outcome")
+    [ 0; 1; 2 ]
+
+let value_roundtrip () =
+  Alcotest.check value "none/some" (Value.some (Value.int 3)) (Value.some (Value.int 3));
+  Alcotest.(check (option value)) "to_option none" None (Value.to_option Value.none);
+  Alcotest.(check (option value))
+    "to_option some" (Some (Value.int 3))
+    (Value.to_option (Value.some (Value.int 3)))
+
+let tests =
+  [
+    Alcotest.test_case "trivial program completes" `Quick test_trivial_completes;
+    Alcotest.test_case "replay determinism" `Quick test_determinism_same_schedule;
+    Alcotest.test_case "mailbox is FIFO" `Quick test_mailbox_fifo;
+    Alcotest.test_case "recv blocks without message" `Quick test_recv_blocks;
+    Alcotest.test_case "register discipline enforced" `Quick test_register_discipline;
+    Alcotest.test_case "tape randomness" `Quick test_tape_randomness;
+    Alcotest.test_case "tape exhaustion raises" `Quick test_tape_exhaustion;
+    Alcotest.test_case "crash event" `Quick test_crash_event;
+    Alcotest.test_case "histories are well-formed" `Quick test_history_well_formed;
+    Alcotest.test_case "outcome extraction" `Quick test_outcome_extraction;
+    Alcotest.test_case "value option roundtrip" `Quick value_roundtrip;
+  ]
