@@ -4,69 +4,161 @@
    Theorem 4.2 bound), one section per experiment of DESIGN.md's index,
    followed by Bechamel micro-benchmarks of the simulator.
 
-     dune exec bench/main.exe            # all experiments + micro-benches
-     BLUNTING_KMAX=3 dune exec bench/main.exe   # cap the exact solver's k
+     dune exec bench/main.exe                    # all experiments + micro-benches
+     dune exec bench/main.exe -- --json out.json # also write the results document
+     dune exec bench/main.exe -- --only E1,E4    # run a subset
+     dune exec bench/main.exe -- --verbosity info
+     BLUNTING_KMAX=3 dune exec bench/main.exe    # cap the exact solver's k
      BLUNTING_SKIP_BECHAMEL=1 dune exec bench/main.exe
-*)
+
+   The --json document follows the Obs.Results schema (see
+   lib/obs/results.mli and EXPERIMENTS.md): per-section paper-vs-measured
+   rows, section metrics (solver statistics, Monte-Carlo tallies), the
+   process-wide Obs.Metrics snapshot and the span log. *)
 
 open Util
 
-let section title = Fmt.pr "@.=== %s@.@." title
+(* ---- command line --------------------------------------------------- *)
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+type options = {
+  json_path : string option;
+  only : string list option;  (* uppercased section ids *)
+  mutable skip_bechamel : bool;
+}
+
+let options =
+  let json_path = ref None and only = ref None and skip_bechamel = ref false in
+  let usage () =
+    Fmt.epr
+      "usage: main.exe [--json PATH] [--only E1,E2,...] [--skip-bechamel] \
+       [--verbosity LEVEL]@.";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | "--only" :: ids :: rest ->
+        only :=
+          Some
+            (String.split_on_char ',' ids
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+            |> List.map String.uppercase_ascii);
+        parse rest
+    | "--skip-bechamel" :: rest ->
+        skip_bechamel := true;
+        parse rest
+    | "--verbosity" :: v :: rest ->
+        (match Obs.Log.set_verbosity v with
+        | Ok () -> ()
+        | Error e ->
+            Fmt.epr "%s@." e;
+            exit 2);
+        parse rest
+    | arg :: _ ->
+        Fmt.epr "unknown argument %s@." arg;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if Sys.getenv_opt "BLUNTING_SKIP_BECHAMEL" <> None then skip_bechamel := true;
+  { json_path = !json_path; only = !only; skip_bechamel = !skip_bechamel }
+
+let runs id =
+  match options.only with
+  | None -> true
+  | Some ids -> List.mem (String.uppercase_ascii id) ids
+
+let time label f = Obs.Span.time label f
 
 let kmax =
   match Sys.getenv_opt "BLUNTING_KMAX" with
   | Some s -> (try max 1 (int_of_string s) with _ -> 4)
   | None -> 4
 
+(* Per-solve solver work: the stats delta around [f]. *)
+let stats_delta (b : Mdp.Solver.stats) (a : Mdp.Solver.stats) : Mdp.Solver.stats =
+  {
+    states = a.states - b.states;
+    memo_hits = a.memo_hits - b.memo_hits;
+    memo_misses = a.memo_misses - b.memo_misses;
+    max_depth = a.max_depth;
+  }
+
+let timed_solve label f =
+  let before = Model.Weakener_abd.solver_stats () in
+  let v, dt = time label f in
+  let after = Model.Weakener_abd.solver_stats () in
+  (v, dt, stats_delta before after)
+
+let pp_hit_rate ppf s = Fmt.pf ppf "%.1f%%" (100.0 *. Mdp.Solver.hit_rate s)
+
 (* ------------------------------------------------------------------ *)
 
 let e1_atomic () =
-  section "E1  Appendix A.1 — weakener with atomic registers";
-  let v, dt = time Model.Weakener_atomic.bad_probability in
+  let r = Report.section ~id:"E1" ~title:"Appendix A.1 — weakener with atomic registers" () in
+  let v, dt = time "E1 solve atomic" Model.Weakener_atomic.bad_probability in
   let mc =
     Adversary.Monte_carlo.estimate ~trials:2_000 ~seed:101
       ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
       Programs.Weakener.atomic_config
   in
-  let t = Table.create [ "quantity"; "paper"; "measured" ] in
-  Table.add_row t
-    [ "adversary-optimal Prob[p2 loops]"; "exactly 1/2"; Fmt.str "%.6f (exact, %.2fs)" v dt ];
-  Table.add_row t
-    [ "termination probability"; ">= 1/2"; Fmt.str "%.6f" (1.0 -. v) ];
-  Table.add_row t
-    [ "fair-scheduler Prob[p2 loops]"; "(not adversarial)"; Fmt.str "%a" Adversary.Monte_carlo.pp mc ];
-  Table.print t
+  Report.row r ~quantity:"adversary-optimal Prob[p2 loops]" ~paper:"exactly 1/2"
+    ~paper_value:0.5 ~measured_value:v
+    ~measured:(Fmt.str "%.6f (exact, %.2fs)" v dt)
+    ();
+  Report.row r ~quantity:"termination probability" ~paper:">= 1/2" ~paper_value:0.5
+    ~measured_value:(1.0 -. v)
+    ~measured:(Fmt.str "%.6f" (1.0 -. v))
+    ();
+  Report.row r ~quantity:"fair-scheduler Prob[p2 loops]" ~paper:"(not adversarial)"
+    ~measured_value:mc.fraction
+    ~measured:(Fmt.str "%a" Adversary.Monte_carlo.pp mc)
+    ();
+  Report.metrics r (Report.mc_json mc);
+  Report.finish r
 
 let e2_abd () =
-  section "E2  Figure 1 / Appendix A.2 — weakener with plain ABD";
+  let r =
+    Report.section ~id:"E2" ~title:"Figure 1 / Appendix A.2 — weakener with plain ABD" ()
+  in
   let wins = Adversary.Figure1.always_wins () in
-  let v, dt = time (fun () -> Model.Weakener_abd.bad_probability ~k:1 ()) in
-  let t = Table.create [ "quantity"; "paper"; "measured" ] in
-  Table.add_row t
+  let v, dt, st =
+    timed_solve "E2 solve ABD k=1" (fun () -> Model.Weakener_abd.bad_probability ~k:1 ())
+  in
+  Report.row r ~quantity:"Figure 1 adversary vs simulated ABD"
+    ~paper:"wins for both coin values"
+    ~measured:(if wins then "wins for both coin values" else "FAILED")
+    ();
+  Report.row r ~quantity:"adversary-optimal Prob[p2 loops] (exact game)"
+    ~paper:"1 (termination prob 0)" ~paper_value:1.0 ~measured_value:v
+    ~measured:(Fmt.str "%.6f (%.2fs, %d states)" v dt st.states)
+    ();
+  let vc, dtc, stc =
+    timed_solve "E2 solve ABD k=1, C as ABD" (fun () ->
+        Model.Weakener_abd.bad_probability ~atomic_c:false ~k:1 ())
+  in
+  Report.row r ~quantity:"same, with C also implemented as ABD"
+    ~paper:"(substitution check)" ~measured_value:vc
+    ~measured:(Fmt.str "%.6f (%.1fs)" vc dtc)
+    ();
+  Report.table_row r
     [
-      "Figure 1 adversary vs simulated ABD";
-      "wins for both coin values";
-      (if wins then "wins for both coin values" else "FAILED");
+      "solver cost (k=1 / k=1 with ABD C)";
+      "(not in paper)";
+      Fmt.str "%d / %d states, hit rate %a / %a, %.2fs / %.2fs" st.states stc.states
+        pp_hit_rate st pp_hit_rate stc dt dtc;
     ];
-  Table.add_row t
-    [
-      "adversary-optimal Prob[p2 loops] (exact game)";
-      "1 (termination prob 0)";
-      Fmt.str "%.6f (%.2fs, %d states)" v dt (Model.Weakener_abd.explored_states ());
-    ];
-  Table.add_row t
-    [
-      "same, with C also implemented as ABD";
-      "(substitution check)";
-      Fmt.str "%.6f"
-        (fst (time (fun () -> Model.Weakener_abd.bad_probability ~atomic_c:false ~k:1 ())));
-    ];
-  Table.print t;
+  Report.metrics r
+    (Report.solver_stats_json (Model.Weakener_abd.solver_stats ())
+    @ [
+        ("solve_seconds_k1", Obs.Json.Float dt);
+        ("solve_seconds_k1_abd_c", Obs.Json.Float dtc);
+        ("states_k1", Obs.Json.Int st.states);
+        ("states_k1_abd_c", Obs.Json.Int stc.states);
+      ]);
+  Report.finish r;
   (* the optimal adversary extracted from the solved game: a machine-derived
      counterpart of Figure 1's schedule *)
   Fmt.pr "@.Machine-derived optimal adversary (k = 1), first moves:@.  ";
@@ -96,46 +188,67 @@ let e2_abd () =
     [ Programs.Weakener.tag_u1; Programs.Weakener.tag_u2; Programs.Weakener.tag_c ]
 
 let e3_abd2 () =
-  section "E3  Appendix A.3 — weakener with ABD^2";
-  let v, dt = time (fun () -> Model.Weakener_abd.bad_probability ~k:2 ()) in
-  let generic = Core.Bound.weakener_instance ~k:2 in
-  let t = Table.create [ "quantity"; "paper"; "measured" ] in
-  Table.add_row t
-    [ "generic bound on Prob[p2 loops] (Thm 4.2)"; "7/8 = 0.875"; Fmt.str "%.6f" generic ];
-  Table.add_row t
-    [ "refined bound on Prob[p2 loops] (A.3.2)"; "5/8 = 0.625"; "5/8 (analytical)" ];
-  Table.add_row t
-    [
-      "exact adversary-optimal Prob[p2 loops]";
-      "<= 5/8";
-      Fmt.str "%.6f (%.2fs) — the refined bound is tight" v dt;
-    ];
-  Table.add_row t
-    [ "termination probability"; ">= 3/8 = 0.375"; Fmt.str "%.6f" (1.0 -. v) ];
-  let vc, dtc =
-    time (fun () -> Model.Weakener_abd.bad_probability ~atomic_c:false ~k:2 ())
+  let r = Report.section ~id:"E3" ~title:"Appendix A.3 — weakener with ABD^2" () in
+  let v, dt, st =
+    timed_solve "E3 solve ABD k=2" (fun () -> Model.Weakener_abd.bad_probability ~k:2 ())
   in
-  Table.add_row t
+  let generic = Core.Bound.weakener_instance ~k:2 in
+  Report.row r ~quantity:"generic bound on Prob[p2 loops] (Thm 4.2)" ~paper:"7/8 = 0.875"
+    ~paper_value:0.875 ~measured_value:generic
+    ~measured:(Fmt.str "%.6f" generic)
+    ();
+  Report.row r ~quantity:"refined bound on Prob[p2 loops] (A.3.2)" ~paper:"5/8 = 0.625"
+    ~paper_value:0.625 ~measured:"5/8 (analytical)" ();
+  Report.row r ~quantity:"exact adversary-optimal Prob[p2 loops]" ~paper:"<= 5/8"
+    ~paper_value:0.625 ~measured_value:v
+    ~measured:(Fmt.str "%.6f (%.2fs) — the refined bound is tight" v dt)
+    ();
+  Report.row r ~quantity:"termination probability" ~paper:">= 3/8 = 0.375"
+    ~paper_value:0.375 ~measured_value:(1.0 -. v)
+    ~measured:(Fmt.str "%.6f" (1.0 -. v))
+    ();
+  let vc, dtc, stc =
+    timed_solve "E3 solve ABD k=2, C as ABD" (fun () ->
+        Model.Weakener_abd.bad_probability ~atomic_c:false ~k:2 ())
+  in
+  Report.row r ~quantity:"same, with C also implemented as ABD^2"
+    ~paper:"(substitution check)" ~measured_value:vc
+    ~measured:(Fmt.str "%.6f (%.1fs)" vc dtc)
+    ();
+  Report.table_row r
     [
-      "same, with C also implemented as ABD^2";
-      "(substitution check)";
-      Fmt.str "%.6f (%.1fs)" vc dtc;
+      "solver cost (k=2 / k=2 with ABD C)";
+      "(not in paper)";
+      Fmt.str "%d / %d states, hit rate %a / %a" st.states stc.states pp_hit_rate st
+        pp_hit_rate stc;
     ];
-  Table.print t
+  Report.metrics r
+    [
+      ("states_k2", Obs.Json.Int st.states);
+      ("states_k2_abd_c", Obs.Json.Int stc.states);
+      ("solver_hit_rate_k2", Obs.Json.Float (Mdp.Solver.hit_rate st));
+      ("solve_seconds_k2", Obs.Json.Float dt);
+      ("solve_seconds_k2_abd_c", Obs.Json.Float dtc);
+      ("solver_max_depth", Obs.Json.Int st.max_depth);
+    ];
+  Report.finish r
 
 let e4_bound_table () =
-  section "E4  Theorem 4.2 — the blunting bound (the paper's formula)";
-  Fmt.pr "Prob[O^k] <= Prob[O_a] + [1 - (max(0,k-r)/k)^(n-1)] (Prob[O] - Prob[O_a])@.@.";
+  let r =
+    Report.section ~id:"E4"
+      ~title:"Theorem 4.2 — the blunting bound (the paper's formula)"
+      ~headers:[] ()
+  in
+  Fmt.pr
+    "Prob[O^k] <= Prob[O_a] + [1 - (max(0,k-r)/k)^(n-1)] (Prob[O] - Prob[O_a])@.@.";
   Fmt.pr "Blunting fraction 1 - ((k-r)/k)^(n-1):@.";
   let ks = [ 1; 2; 4; 8; 16; 32; 64 ] in
-  let t =
-    Table.create ("n \\ r, k" :: List.map (fun k -> Fmt.str "k=%d" k) ks)
-  in
+  let t = Table.create ("n \\ r, k" :: List.map (fun k -> Fmt.str "k=%d" k) ks) in
   List.iter
-    (fun (n, r) ->
+    (fun (n, rr) ->
       Table.add_row t
-        (Fmt.str "n=%d r=%d" n r
-        :: List.map (fun k -> Fmt.str "%.4f" (Core.Bound.blunt_fraction ~n ~r ~k)) ks))
+        (Fmt.str "n=%d r=%d" n rr
+        :: List.map (fun k -> Fmt.str "%.4f" (Core.Bound.blunt_fraction ~n ~r:rr ~k)) ks))
     [ (2, 1); (3, 1); (3, 2); (5, 1); (5, 3); (10, 2) ];
   Table.print t;
   Fmt.pr "@.Weakener instance (n=3, r=1, Prob[O_a]=1/2, Prob[O]=1):@.";
@@ -143,51 +256,79 @@ let e4_bound_table () =
   List.iter
     (fun k ->
       let b = Core.Bound.weakener_instance ~k in
-      Table.add_row t2 [ string_of_int k; Fmt.str "%.6f" b; Fmt.str "%.6f" (1.0 -. b) ])
+      Table.add_row t2 [ string_of_int k; Fmt.str "%.6f" b; Fmt.str "%.6f" (1.0 -. b) ];
+      Report.json_row r
+        ~quantity:(Fmt.str "Thm 4.2 bound on Prob[p2 loops], k=%d" k)
+        ~paper:"1/2 + ((k-1)/k)^2 / 2" ~measured_value:b
+        ~measured:(Fmt.str "%.6f" b)
+        ())
     [ 1; 2; 3; 4; 8; 16; 64 ];
   Table.print t2;
   Fmt.pr "@.k needed for a target blunting fraction (n=3, r=1):@.";
   let t3 = Table.create [ "epsilon"; "min k" ] in
   List.iter
     (fun eps ->
-      Table.add_row t3
-        [ Fmt.str "%.3f" eps; string_of_int (Core.Bound.min_k_for ~n:3 ~r:1 ~epsilon:eps) ])
+      let mk = Core.Bound.min_k_for ~n:3 ~r:1 ~epsilon:eps in
+      Table.add_row t3 [ Fmt.str "%.3f" eps; string_of_int mk ];
+      Report.json_row r
+        ~quantity:(Fmt.str "min k for blunting fraction <= %.3f (n=3, r=1)" eps)
+        ~paper:"smallest k with 1-((k-1)/k)^2 <= eps"
+        ~measured_value:(float_of_int mk) ~measured:(string_of_int mk) ())
     [ 0.5; 0.25; 0.1; 0.01 ];
   Table.print t3
 
 let e5_convergence () =
-  section "E5  Convergence of Prob[ABD^k] to the atomic probability";
+  let r =
+    Report.section ~id:"E5"
+      ~title:"Convergence of Prob[ABD^k] to the atomic probability"
+      ~headers:
+        [ "k"; "exact Prob[bad]"; "Thm 4.2 bound"; "(k^2+1)/(2k^2)"; "states"; "hit rate"; "time" ]
+      ()
+  in
   Fmt.pr "Exact adversary-optimal values (memoized expectimax over the@.";
   Fmt.pr "message-level game); the paper proves convergence to 1/2.@.@.";
-  let t =
-    Table.create
-      [ "k"; "exact Prob[bad]"; "Thm 4.2 bound"; "(k^2+1)/(2k^2)"; "states"; "time" ]
-  in
   Model.Weakener_abd.reset ();
-  let prev_states = ref 0 in
   for k = 1 to kmax do
-    let v, dt = time (fun () -> Model.Weakener_abd.bad_probability ~k ()) in
-    let states = Model.Weakener_abd.explored_states () - !prev_states in
-    prev_states := Model.Weakener_abd.explored_states ();
+    let v, dt, st =
+      timed_solve (Fmt.str "E5 solve ABD k=%d" k) (fun () ->
+          Model.Weakener_abd.bad_probability ~k ())
+    in
     let law = (float_of_int (k * k) +. 1.0) /. (2.0 *. float_of_int (k * k)) in
-    Table.add_row t
+    Report.table_row r
       [
         string_of_int k;
         Fmt.str "%.6f" v;
         Fmt.str "%.6f" (Core.Bound.weakener_instance ~k);
         Fmt.str "%.6f" law;
-        string_of_int states;
+        string_of_int st.states;
+        Fmt.str "%a" pp_hit_rate st;
         Fmt.str "%.1fs" dt;
+      ];
+    Report.json_row r
+      ~quantity:(Fmt.str "exact Prob[bad], ABD^%d" k)
+      ~paper:(Fmt.str "<= %.6f (Thm 4.2); law (k^2+1)/(2k^2) = %.6f"
+                (Core.Bound.weakener_instance ~k) law)
+      ~paper_value:law ~measured_value:v
+      ~measured:(Fmt.str "%.6f" v)
+      ();
+    Report.metrics r
+      [
+        (Fmt.str "states_k%d" k, Obs.Json.Int st.states);
+        (Fmt.str "solver_hit_rate_k%d" k, Obs.Json.Float (Mdp.Solver.hit_rate st));
+        (Fmt.str "solve_seconds_k%d" k, Obs.Json.Float dt);
       ]
   done;
-  Table.print t;
+  Report.metrics r
+    (Report.solver_stats_json (Model.Weakener_abd.solver_stats ()));
+  Report.finish r;
   Fmt.pr
     "@.The exact optimum follows (k^2+1)/(2k^2) on this instance — strictly@.\
      inside the paper's worst-case bound and converging to the atomic 1/2.@.";
   if Sys.getenv_opt "BLUNTING_SERVERS5" <> None then begin
     Fmt.pr "@.Replica-count robustness (BLUNTING_SERVERS5 set; ~4 min):@.";
     let v, dt =
-      time (fun () -> Model.Weakener_abd.bad_probability ~servers:5 ~k:1 ())
+      time "E5 solve 5 replicas" (fun () ->
+          Model.Weakener_abd.bad_probability ~servers:5 ~k:1 ())
     in
     Fmt.pr "  5 replicas, k = 1: exact Prob[bad] = %.6f (%.0fs) — the@." v dt;
     Fmt.pr "  Figure 1 attack is independent of the replica count.@."
@@ -219,7 +360,11 @@ let rw_config obj =
   }
 
 let e6_linearizability () =
-  section "E6  Theorem 4.1 — O^k equivalent to O; every object linearizable";
+  let r =
+    Report.section ~id:"E6"
+      ~title:"Theorem 4.1 — O^k equivalent to O; every object linearizable"
+      ~headers:[ "object"; "linearizable histories / random schedules" ] ()
+  in
   let reg_spec = History.Spec.register ~init:(Value.int 0) in
   let snap_spec = History.Spec.snapshot ~n:3 ~init:(Value.int 0) in
   let sweep name spec mk_config =
@@ -250,9 +395,15 @@ let e6_linearizability () =
       max_crashes = 0;
     }
   in
-  let t = Table.create [ "object"; "linearizable histories / random schedules" ] in
   List.iter
-    (fun (name, ok, trials) -> Table.add_row t [ name; Fmt.str "%d / %d" ok trials ])
+    (fun (name, ok, trials) ->
+      Report.table_row r [ name; Fmt.str "%d / %d" ok trials ];
+      Report.json_row r
+        ~quantity:(Fmt.str "%s linearizable histories" name)
+        ~paper:"all (Thm 4.1)" ~paper_value:(float_of_int trials)
+        ~measured_value:(float_of_int ok)
+        ~measured:(Fmt.str "%d / %d" ok trials)
+        ())
     [
       sweep "ABD" reg_spec (fun () ->
           rw_config (Objects.Abd.make ~name:"R" ~n:3 ~init:(Value.int 0)));
@@ -267,7 +418,14 @@ let e6_linearizability () =
             (Objects.Vitanyi_awerbuch.make_k ~k:2 ~name:"R" ~n:3 ~init:(Value.int 0)));
       sweep "Afek snapshot" snap_spec snapshot_config;
     ];
-  Table.print t;
+  Report.metrics r
+    [
+      ( "lin_nodes_visited",
+        Obs.Json.Int (Option.value ~default:0 (Obs.Metrics.find_counter "lin.nodes_visited")) );
+      ( "lin_backtracks",
+        Obs.Json.Int (Option.value ~default:0 (Obs.Metrics.find_counter "lin.backtracks")) );
+    ];
+  Report.finish r;
   (* Theorem 4.1, sequential-equivalence flavour: identical sequential
      outcomes for O and O^k *)
   let sequential_read k =
@@ -289,7 +447,10 @@ let e6_linearizability () =
     (List.for_all (fun k -> sequential_read k = base) [ 1; 2; 4 ])
 
 let e7_tail_strong () =
-  section "E7  Section 5 — tail strong linearizability evidence";
+  let r =
+    Report.section ~id:"E7" ~title:"Section 5 — tail strong linearizability evidence"
+      ~headers:[ "object"; "prefix-preserving f on all complete prefixes" ] ()
+  in
   (* Theorem 5.1: the timestamp linearization is prefix-preserving on
      sampled ABD executions (all Π-complete prefixes of each trace). *)
   let check ~k trials =
@@ -304,11 +465,16 @@ let e7_tail_strong () =
     done;
     (!ok, trials)
   in
-  let t = Table.create [ "object"; "prefix-preserving f on all complete prefixes" ] in
-  let ok0, n0 = check ~k:0 40 in
-  let ok2, n2 = check ~k:2 20 in
-  Table.add_row t [ "ABD (Thm 5.1)"; Fmt.str "%d / %d traces" ok0 n0 ];
-  Table.add_row t [ "ABD^2"; Fmt.str "%d / %d traces" ok2 n2 ];
+  let add name (ok, n) =
+    Report.table_row r [ name; Fmt.str "%d / %d traces" ok n ];
+    Report.json_row r
+      ~quantity:(Fmt.str "%s prefix-preserving traces" name)
+      ~paper:"all (Sec 5)" ~paper_value:(float_of_int n) ~measured_value:(float_of_int ok)
+      ~measured:(Fmt.str "%d / %d" ok n)
+      ()
+  in
+  add "ABD (Thm 5.1)" (check ~k:0 40);
+  add "ABD^2" (check ~k:2 20);
   let check_obj make_config obj_name trials =
     let ok = ref 0 in
     for seed = 1 to trials do
@@ -333,11 +499,9 @@ let e7_tail_strong () =
     in
     { Sim.Runtime.n = 3; objects = [ obj ]; program; enable_crashes = false; max_crashes = 0 }
   in
-  let okv, nv = check_obj va_config "R" 25 in
-  Table.add_row t [ "Vitanyi-Awerbuch (Sec 5.3)"; Fmt.str "%d / %d traces" okv nv ];
-  let oki, ni = check_obj il_config "R" 25 in
-  Table.add_row t [ "Israeli-Li (Sec 5.4)"; Fmt.str "%d / %d traces" oki ni ];
-  Table.print t;
+  add "Vitanyi-Awerbuch (Sec 5.3)" (check_obj va_config "R" 25);
+  add "Israeli-Li (Sec 5.4)" (check_obj il_config "R" 25);
+  Report.finish r;
   (* positive control: enumerated atomic-register execution tree is
      strongly linearizable *)
   let reg = Objects.Atomic_register.make ~name:"X" ~init:(Value.int 0) in
@@ -367,10 +531,11 @@ let e7_tail_strong () =
     (Lin.Tree.strongly_linearizable spec tree)
 
 let e8_cost () =
-  section "E8  The cost of blunting — message complexity vs k";
-  let t =
-    Table.create
-      [ "k"; "client msgs / op"; "total msgs (weakener)"; "total steps (weakener)" ]
+  let r =
+    Report.section ~id:"E8" ~title:"The cost of blunting — message complexity vs k"
+      ~headers:
+        [ "k"; "client msgs / op"; "total msgs (weakener)"; "total steps (weakener)" ]
+      ()
   in
   List.iter
     (fun k ->
@@ -387,15 +552,23 @@ let e8_cost () =
       | _ -> failwith "eager weakener run failed");
       let tr = Sim.Runtime.trace rt in
       let kk = max k 1 in
-      Table.add_row t
+      Report.table_row r
         [
           (if k = 0 then "1 (plain)" else string_of_int k);
           Fmt.str "%d broadcasts = %d msgs" (kk + 1) (3 * (kk + 1));
           string_of_int (Sim.Trace.count_messages tr);
           string_of_int (Sim.Trace.count_steps tr);
-        ])
+        ];
+      Report.json_row r
+        ~quantity:(Fmt.str "weakener total messages, k=%s" (if k = 0 then "plain" else string_of_int k))
+        ~paper:"grows linearly in k (Sec 4.2)"
+        ~measured_value:(float_of_int (Sim.Trace.count_messages tr))
+        ~measured:
+          (Fmt.str "%d msgs, %d steps" (Sim.Trace.count_messages tr)
+             (Sim.Trace.count_steps tr))
+        ())
     [ 0; 2; 3; 4; 6; 8 ];
-  Table.print t;
+  Report.finish r;
   Fmt.pr
     "@.Each ABD^k operation performs k query phases plus one update phase:@.\
      latency and message count grow linearly in k while the bad-outcome@.\
@@ -403,7 +576,10 @@ let e8_cost () =
      Section 4.2.@."
 
 let e9_round_based () =
-  section "E9  Section 7 — round-based programs with k > T*s";
+  let r =
+    Report.section ~id:"E9" ~title:"Section 7 — round-based programs with k > T*s"
+      ~headers:[ "configuration"; "decided"; "within T rounds" ] ()
+  in
   let n = 3 and window = 6 and max_rounds = 100 in
   let k = Core.Round_based.recommended_k ~rounds:window ~steps_per_round:1 in
   let run ~k ~fallback seed =
@@ -431,16 +607,18 @@ let e9_round_based () =
   in
   let d1, w1 = stats ~k ~fallback:window in
   let d2, w2 = stats ~k:1 ~fallback:0 in
-  let t = Table.create [ "configuration"; "decided"; "within T rounds" ] in
-  Table.add_row t
-    [
-      Fmt.str "ABD^%d for T=%d rounds, then plain" k window;
-      Fmt.str "%d/%d" d1 trials;
-      Fmt.str "%d/%d" w1 trials;
-    ];
-  Table.add_row t
-    [ "plain ABD throughout"; Fmt.str "%d/%d" d2 trials; Fmt.str "%d/%d" w2 trials ];
-  Table.print t;
+  let add name d w =
+    Report.table_row r [ name; Fmt.str "%d/%d" d trials; Fmt.str "%d/%d" w trials ];
+    Report.json_row r
+      ~quantity:(Fmt.str "%s: decided" name)
+      ~paper:"terminates under fair scheduling" ~paper_value:(float_of_int trials)
+      ~measured_value:(float_of_int d)
+      ~measured:(Fmt.str "%d/%d (in window %d/%d)" d trials w trials)
+      ()
+  in
+  add (Fmt.str "ABD^%d for T=%d rounds, then plain" k window) d1 w1;
+  add "plain ABD throughout" d2 w2;
+  Report.finish r;
   Fmt.pr
     "@.(Under a fair scheduler both configurations terminate; the blunted@.\
      window is where the k-protection against a strong adversary holds,@.\
@@ -448,18 +626,26 @@ let e9_round_based () =
     (window * 1)
 
 let e10_snapshot_game () =
-  section "E10 The snapshot weakener, solved exactly";
-  let t = Table.create [ "snapshot implementation"; "adversary-optimal Prob[bad]" ] in
-  Table.add_row t
-    [ "atomic (single-step ops)";
-      Fmt.str "%.6f" (Model.Ghw_snapshot_game.atomic_bad_probability ()) ];
+  let r =
+    Report.section ~id:"E10" ~title:"The snapshot weakener, solved exactly"
+      ~headers:[ "snapshot implementation"; "adversary-optimal Prob[bad]" ] ()
+  in
+  let add name ~paper v =
+    Report.table_row r [ name; Fmt.str "%.6f" v ];
+    Report.json_row r ~quantity:name ~paper ~paper_value:0.5 ~measured_value:v
+      ~measured:(Fmt.str "%.6f" v)
+      ()
+  in
+  add "atomic (single-step ops)" ~paper:"1/2"
+    (Model.Ghw_snapshot_game.atomic_bad_probability ());
   List.iter
     (fun k ->
-      Table.add_row t
-        [ Fmt.str "Afek et al., Snapshot^%d" k;
-          Fmt.str "%.6f" (Model.Ghw_snapshot_game.afek_bad_probability ~k) ])
+      add
+        (Fmt.str "Afek et al., Snapshot^%d" k)
+        ~paper:"1/2 (negative result: no amplification)"
+        (Model.Ghw_snapshot_game.afek_bad_probability ~k))
     [ 1; 2; 4 ];
-  Table.print t;
+  Report.finish r;
   Fmt.pr
     "@.A machine-checked negative result: on the single-update snapshot@.\
      weakener the Afek implementation already matches the atomic value for@.\
@@ -485,19 +671,24 @@ let e10_snapshot_game () =
      the snapshot distortions of GHW arise in different programs.@."
 
 let e11_va_weakener () =
-  section "E11 The weakener over Vitanyi-Awerbuch registers, solved exactly";
-  let t = Table.create [ "k"; "exact Prob[bad], VA^k"; "exact Prob[bad], ABD^k (E5)" ] in
+  let r =
+    Report.section ~id:"E11"
+      ~title:"The weakener over Vitanyi-Awerbuch registers, solved exactly"
+      ~headers:[ "k"; "exact Prob[bad], VA^k"; "exact Prob[bad], ABD^k (E5)" ] ()
+  in
   List.iter
     (fun k ->
-      Table.add_row t
-        [
-          string_of_int k;
-          Fmt.str "%.6f" (Model.Weakener_va.bad_probability ~k);
-          (let law = (float_of_int (k * k) +. 1.0) /. (2.0 *. float_of_int (k * k)) in
-           Fmt.str "%.6f" law);
-        ])
+      let v = Model.Weakener_va.bad_probability ~k in
+      let law = (float_of_int (k * k) +. 1.0) /. (2.0 *. float_of_int (k * k)) in
+      Report.table_row r
+        [ string_of_int k; Fmt.str "%.6f" v; Fmt.str "%.6f" law ];
+      Report.json_row r
+        ~quantity:(Fmt.str "exact Prob[bad], VA^%d" k)
+        ~paper:"1/2 (VA blocks the attack)" ~paper_value:0.5 ~measured_value:v
+        ~measured:(Fmt.str "%.6f" v)
+        ())
     [ 1; 2; 3; 4 ];
-  Table.print t;
+  Report.finish r;
   Fmt.pr
     "@.The shared-memory register blocks the attack outright: plain VA@.\
      already achieves the atomic 1/2 on the weakener, for every k. ABD's@.\
@@ -511,7 +702,10 @@ let e11_va_weakener () =
 (* Bechamel micro-benchmarks of the substrate *)
 
 let bechamel () =
-  section "Micro-benchmarks (Bechamel)";
+  let r =
+    Report.section ~id:"BENCH" ~title:"Micro-benchmarks (Bechamel)"
+      ~headers:[ "benchmark"; "time/run" ] ()
+  in
   let open Bechamel in
   let open Toolkit in
   let run_weakener k () =
@@ -580,7 +774,6 @@ let bechamel () =
       (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
       Instance.monotonic_clock raw
   in
-  let t = Table.create [ "benchmark"; "time/run" ] in
   List.iter
     (fun test ->
       let results = analyze (benchmark (Test.make_grouped ~name:"g" [ test ])) in
@@ -593,26 +786,35 @@ let bechamel () =
                 else if ns > 1e3 then Fmt.str "%.2f us" (ns /. 1e3)
                 else Fmt.str "%.0f ns" ns
               in
-              Table.add_row t [ name; pretty ]
-          | _ -> Table.add_row t [ name; "?" ])
+              Report.table_row r [ name; pretty ];
+              Report.metrics r [ (name, Obs.Json.Float ns) ]
+          | _ -> Report.table_row r [ name; "?" ])
         results)
     tests;
-  Table.print t
+  Report.finish r
 
 let () =
   Fmt.pr
     "Blunting an Adversary Against Randomized Concurrent Programs@.\
      — experiment harness (PODC 2022 reproduction)@.";
-  e1_atomic ();
-  e2_abd ();
-  e3_abd2 ();
-  e4_bound_table ();
-  e5_convergence ();
-  e6_linearizability ();
-  e7_tail_strong ();
-  e8_cost ();
-  e9_round_based ();
-  e10_snapshot_game ();
-  e11_va_weakener ();
-  if Sys.getenv_opt "BLUNTING_SKIP_BECHAMEL" = None then bechamel ();
+  let sections =
+    [
+      ("E1", e1_atomic);
+      ("E2", e2_abd);
+      ("E3", e3_abd2);
+      ("E4", e4_bound_table);
+      ("E5", e5_convergence);
+      ("E6", e6_linearizability);
+      ("E7", e7_tail_strong);
+      ("E8", e8_cost);
+      ("E9", e9_round_based);
+      ("E10", e10_snapshot_game);
+      ("E11", e11_va_weakener);
+    ]
+  in
+  List.iter (fun (id, f) -> if runs id then f ()) sections;
+  if (not options.skip_bechamel) && runs "BENCH" then bechamel ();
+  (match options.json_path with
+  | Some path -> Report.write_json ~path
+  | None -> ());
   Fmt.pr "@.done.@."

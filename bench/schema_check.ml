@@ -1,0 +1,38 @@
+(* Validate a bench results document against the Obs.Results schema.
+
+     dune exec bench/schema_check.exe -- bench_smoke.json
+
+   Exits non-zero (with a diagnostic) on parse or schema errors, so the
+   @smoke alias fails loudly when the emitter regresses. *)
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        Fmt.epr "usage: schema_check.exe FILE.json@.";
+        exit 2
+  in
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Obs.Json.of_string contents with
+  | Error e ->
+      Fmt.epr "%s: JSON parse error: %s@." path e;
+      exit 1
+  | Ok json -> (
+      match Obs.Results.validate json with
+      | Error e ->
+          Fmt.epr "%s: schema error: %s@." path e;
+          exit 1
+      | Ok () ->
+          let sections =
+            match Obs.Json.member "experiments" json with
+            | Some (Obs.Json.List l) -> List.length l
+            | _ -> 0
+          in
+          Fmt.pr "%s: ok (schema v%d, %d experiment sections)@." path
+            Obs.Results.schema_version sections)

@@ -6,10 +6,47 @@
      blunting bound -n 3 -r 1 -k 4
      blunting mc --registers abd -k 2 --trials 1000
      blunting lin-sweep --object abd --trials 50
+     blunting trace --registers abd -o weakener.trace.json
+     blunting metrics --workload mc --json
+
+   Every subcommand accepts --verbosity LEVEL (quiet|app|error|warning|
+   info|debug) to surface the structured logs of the blunting.sim,
+   blunting.mdp and blunting.adversary sources.
 *)
 
 open Cmdliner
 open Util
+
+(* ---- common --------------------------------------------------------- *)
+
+(* Evaluated before each command body: install the Logs reporter. *)
+let verbosity_term =
+  let arg =
+    Arg.(
+      value
+      & opt string "warning"
+      & info [ "verbosity" ] ~docv:"LEVEL"
+          ~doc:
+            "Log verbosity: $(b,quiet), $(b,app), $(b,error), $(b,warning), \
+             $(b,info) or $(b,debug).")
+  in
+  let setup v =
+    match Obs.Log.set_verbosity v with
+    | Ok () -> ()
+    | Error e ->
+        Fmt.epr "%s@." e;
+        exit 2
+  in
+  Term.(const setup $ arg)
+
+let registers_enum =
+  Arg.enum [ ("atomic", `Atomic); ("abd", `Abd); ("abd-k", `Abd_k) ]
+
+let weakener_config registers k =
+  match registers with
+  | `Atomic -> Programs.Weakener.atomic_config ()
+  | `Abd -> Programs.Weakener.abd_config ()
+  | `Abd_k -> Programs.Weakener.abd_k_config ~k
 
 (* ---- solve ---------------------------------------------------------- *)
 
@@ -26,7 +63,7 @@ let solve_cmd =
   let abd_c_arg =
     Arg.(value & flag & info [ "abd-c" ] ~doc:"Model register C as ABD too (validates the atomic-C reduction).")
   in
-  let run k atomic servers abd_c =
+  let run () k atomic servers abd_c =
     if atomic then begin
       let v = Model.Weakener_atomic.bad_probability () in
       Fmt.pr "weakener with atomic registers:@.";
@@ -37,19 +74,19 @@ let solve_cmd =
       let v =
         Model.Weakener_abd.bad_probability ~atomic_c:(not abd_c) ~servers ~k ()
       in
+      let st = Model.Weakener_abd.solver_stats () in
       Fmt.pr "weakener with ABD^%d registers (%d replicas%s):@." k servers
         (if abd_c then ", C as ABD too" else "");
       Fmt.pr "  adversary-optimal Prob[p2 loops forever] = %.6f@." v;
       Fmt.pr "  guaranteed termination probability      = %.6f@." (1.0 -. v);
       Fmt.pr "  Theorem 4.2 upper bound on the former   = %.6f@."
         (Core.Bound.weakener_instance ~k);
-      Fmt.pr "  explored states                          = %d@."
-        (Model.Weakener_abd.explored_states ())
+      Fmt.pr "  solver: %a@." Mdp.Solver.pp_stats st
     end
   in
   let doc = "Solve the exact adversary-vs-coin game of the weakener program." in
   Cmd.v (Cmd.info "solve" ~doc)
-    Term.(const run $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg)
+    Term.(const run $ verbosity_term $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg)
 
 (* ---- figure1 -------------------------------------------------------- *)
 
@@ -60,7 +97,7 @@ let figure1_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full execution trace.")
   in
-  let run coin trace =
+  let run () coin trace =
     let t = Adversary.Figure1.run ~coin in
     if trace then Fmt.pr "%a@.@." Sim.Trace.pp (Sim.Runtime.trace t);
     let o = Sim.Runtime.outcome t in
@@ -77,7 +114,7 @@ let figure1_cmd =
   let doc =
     "Replay the Figure 1 strong adversary against the simulated ABD weakener."
   in
-  Cmd.v (Cmd.info "figure1" ~doc) Term.(const run $ coin_arg $ trace_arg)
+  Cmd.v (Cmd.info "figure1" ~doc) Term.(const run $ verbosity_term $ coin_arg $ trace_arg)
 
 (* ---- bound ---------------------------------------------------------- *)
 
@@ -89,7 +126,7 @@ let bound_cmd =
     Arg.(value & opt float 0.5 & info [ "prob-atomic" ] ~doc:"Prob[O_a].")
   in
   let pl_arg = Arg.(value & opt float 1.0 & info [ "prob-lin" ] ~doc:"Prob[O].") in
-  let run n r k prob_atomic prob_lin =
+  let run () n r k prob_atomic prob_lin =
     Fmt.pr "blunting fraction 1 - ((k-r)/k)^(n-1) = %.6f@."
       (Core.Bound.blunt_fraction ~n ~r ~k);
     Fmt.pr "Theorem 4.2: Prob[O^k] <= %.6f@."
@@ -97,26 +134,20 @@ let bound_cmd =
   in
   let doc = "Evaluate the Theorem 4.2 blunting bound." in
   Cmd.v (Cmd.info "bound" ~doc)
-    Term.(const run $ n_arg $ r_arg $ k_arg $ pa_arg $ pl_arg)
+    Term.(const run $ verbosity_term $ n_arg $ r_arg $ k_arg $ pa_arg $ pl_arg)
 
 (* ---- mc ------------------------------------------------------------- *)
 
 let mc_cmd =
   let registers_arg =
-    let impl = Arg.enum [ ("atomic", `Atomic); ("abd", `Abd); ("abd-k", `Abd_k) ] in
-    Arg.(value & opt impl `Abd
+    Arg.(value & opt registers_enum `Abd
          & info [ "registers" ] ~doc:"Register implementation." ~docv:"atomic|abd|abd-k")
   in
   let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"k for abd-k.") in
   let trials_arg = Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Trials.") in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
-  let run registers k trials seed =
-    let config =
-      match registers with
-      | `Atomic -> Programs.Weakener.atomic_config
-      | `Abd -> Programs.Weakener.abd_config
-      | `Abd_k -> fun () -> Programs.Weakener.abd_k_config ~k
-    in
+  let run () registers k trials seed =
+    let config () = weakener_config registers k in
     let r =
       Adversary.Monte_carlo.estimate ~trials ~seed
         ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad config
@@ -125,7 +156,7 @@ let mc_cmd =
   in
   let doc = "Monte-Carlo estimate of the weakener's bad outcome under fair scheduling." in
   Cmd.v (Cmd.info "mc" ~doc)
-    Term.(const run $ registers_arg $ k_arg $ trials_arg $ seed_arg)
+    Term.(const run $ verbosity_term $ registers_arg $ k_arg $ trials_arg $ seed_arg)
 
 (* ---- lin-sweep ------------------------------------------------------ *)
 
@@ -145,7 +176,7 @@ let lin_sweep_cmd =
   in
   let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"k for abd-k.") in
   let trials_arg = Arg.(value & opt int 50 & info [ "trials" ] ~doc:"Random schedules.") in
-  let run obj k trials =
+  let run () obj k trials =
     let open Sim.Proc.Syntax in
     let reg_spec = History.Spec.register ~init:(Value.int 0) in
     let snap_spec = History.Spec.snapshot ~n:3 ~init:(Value.int 0) in
@@ -210,7 +241,8 @@ let lin_sweep_cmd =
     Fmt.pr "linearizable histories: %d / %d@." !ok trials
   in
   let doc = "Check linearizability of an implementation over random schedules." in
-  Cmd.v (Cmd.info "lin-sweep" ~doc) Term.(const run $ obj_arg $ k_arg $ trials_arg)
+  Cmd.v (Cmd.info "lin-sweep" ~doc)
+    Term.(const run $ verbosity_term $ obj_arg $ k_arg $ trials_arg)
 
 (* ---- ghw ------------------------------------------------------------ *)
 
@@ -218,7 +250,7 @@ let ghw_cmd =
   let k_arg =
     Arg.(value & opt int 1 & info [ "k" ] ~doc:"Preamble iterations for Snapshot^k.")
   in
-  let run k =
+  let run () k =
     Fmt.pr "snapshot weakener, adversary-optimal Prob[bad]:@.";
     Fmt.pr "  atomic snapshot:  %.6f@."
       (Model.Ghw_snapshot_game.atomic_bad_probability ());
@@ -226,7 +258,105 @@ let ghw_cmd =
       (Model.Ghw_snapshot_game.afek_bad_probability ~k)
   in
   let doc = "Solve the exact snapshot-weakener game (atomic vs Afek^k)." in
-  Cmd.v (Cmd.info "ghw" ~doc) Term.(const run $ k_arg)
+  Cmd.v (Cmd.info "ghw" ~doc) Term.(const run $ verbosity_term $ k_arg)
+
+(* ---- trace ---------------------------------------------------------- *)
+
+let trace_cmd =
+  let registers_arg =
+    Arg.(value & opt registers_enum `Abd
+         & info [ "registers" ] ~doc:"Register implementation." ~docv:"atomic|abd|abd-k")
+  in
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"k for abd-k.") in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scheduling seed.") in
+  let sched_arg =
+    let s = Arg.enum [ ("uniform", `Uniform); ("eager", `Eager) ] in
+    Arg.(value & opt s `Uniform
+         & info [ "scheduler" ] ~doc:"Event scheduler." ~docv:"uniform|eager")
+  in
+  let out_arg =
+    Arg.(value & opt string "weakener.trace.json"
+         & info [ "o"; "output" ] ~doc:"Output file." ~docv:"PATH")
+  in
+  let format_arg =
+    let f = Arg.enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ] in
+    Arg.(value & opt f `Chrome
+         & info [ "format" ]
+             ~doc:
+               "Export format: $(b,chrome) (load in Perfetto / \
+                chrome://tracing) or $(b,jsonl) (one JSON object per entry)."
+             ~docv:"chrome|jsonl")
+  in
+  let run () registers k seed sched output format =
+    let config = weakener_config registers k in
+    let rng = Rng.of_int seed in
+    let t = Sim.Runtime.create config (Sim.Runtime.Gen (Rng.split rng)) in
+    let scheduler =
+      match sched with
+      | `Uniform -> fun _st evs -> Rng.pick rng evs
+      | `Eager -> Adversary.Schedulers.eager_delivery
+    in
+    let result = Sim.Runtime.run t ~max_steps:2_000_000 scheduler in
+    let tr = Sim.Runtime.trace t in
+    (try
+       match format with
+       | `Chrome -> Sim.Trace_export.write_chrome ~path:output tr
+       | `Jsonl -> Sim.Trace_export.write_jsonl ~path:output tr
+     with Sys_error e ->
+       Fmt.epr "cannot write trace: %s@." e;
+       exit 1);
+    Fmt.pr "run %a: %d steps, %d messages@." Sim.Runtime.pp_run_result result
+      (Sim.Trace.count_steps tr) (Sim.Trace.count_messages tr);
+    Fmt.pr "%s trace written to %s@."
+      (match format with `Chrome -> "Chrome/Perfetto" | `Jsonl -> "JSONL")
+      output;
+    match format with
+    | `Chrome ->
+        Fmt.pr "open it at https://ui.perfetto.dev or chrome://tracing@."
+    | `Jsonl -> ()
+  in
+  let doc =
+    "Run the weakener once and export the execution as a structured trace \
+     (Chrome/Perfetto or JSONL)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ verbosity_term $ registers_arg $ k_arg $ seed_arg $ sched_arg
+      $ out_arg $ format_arg)
+
+(* ---- metrics -------------------------------------------------------- *)
+
+let metrics_cmd =
+  let workload_arg =
+    let w = Arg.enum [ ("mc", `Mc); ("solve", `Solve); ("figure1", `Figure1) ] in
+    Arg.(value & opt w `Mc
+         & info [ "workload" ]
+             ~doc:"Workload to run before dumping the metrics registry."
+             ~docv:"mc|solve|figure1")
+  in
+  let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~doc:"k for the workload.") in
+  let trials_arg = Arg.(value & opt int 200 & info [ "trials" ] ~doc:"MC trials.") in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Dump the snapshot as JSON instead of a table.")
+  in
+  let run () workload k trials json =
+    (match workload with
+    | `Mc ->
+        ignore
+          (Adversary.Monte_carlo.estimate ~trials ~seed:42
+             ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
+             Programs.Weakener.abd_config)
+    | `Solve -> ignore (Model.Weakener_abd.bad_probability ~k ())
+    | `Figure1 -> ignore (Adversary.Figure1.run ~coin:0));
+    if json then print_endline (Obs.Json.to_string (Obs.Metrics.snapshot ()))
+    else Fmt.pr "%a@." Obs.Metrics.pp ()
+  in
+  let doc =
+    "Run a workload and dump the process-wide metrics registry (counters, \
+     gauges, histograms)."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(const run $ verbosity_term $ workload_arg $ k_arg $ trials_arg $ json_arg)
 
 (* ---- main ----------------------------------------------------------- *)
 
@@ -238,4 +368,14 @@ let () =
   let info = Cmd.info "blunting" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ solve_cmd; figure1_cmd; bound_cmd; mc_cmd; lin_sweep_cmd; ghw_cmd ]))
+       (Cmd.group info
+          [
+            solve_cmd;
+            figure1_cmd;
+            bound_cmd;
+            mc_cmd;
+            lin_sweep_cmd;
+            ghw_cmd;
+            trace_cmd;
+            metrics_cmd;
+          ]))

@@ -1,31 +1,79 @@
 open Util
 
+let log_src = Logs.Src.create "blunting.adversary" ~doc:"Monte-Carlo estimation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module M = struct
+  open Obs.Metrics
+
+  let trials = counter ~help:"Monte-Carlo trials run" "mc.trials"
+  let bad = counter ~help:"trials with the bad outcome" "mc.bad_outcomes"
+  let deadlocks = counter ~help:"trials ending deadlocked" "mc.deadlocks"
+  let step_limited = counter ~help:"trials hitting the step limit" "mc.step_limited"
+  let trial_steps = histogram ~help:"per-trial simulated step count" "mc.trial_steps"
+end
+
 type result = {
   trials : int;
   bad : int;
+  deadlocks : int;
+  step_limited : int;
   fraction : float;
   ci_low : float;
   ci_high : float;
 }
 
-let estimate ~trials ~seed ~scheduler ~bad mk_config =
+let estimate ?(max_steps = 1_000_000) ~trials ~seed ~scheduler ~bad mk_config =
   let master = Rng.of_int seed in
   let bad_count = ref 0 in
-  for _ = 1 to trials do
+  let deadlocks = ref 0 in
+  let step_limited = ref 0 in
+  for trial = 1 to trials do
     let sched_rng = Rng.split master in
     let tape_rng = Rng.split master in
     let t = Sim.Runtime.create (mk_config ()) (Sim.Runtime.Gen tape_rng) in
-    (match Sim.Runtime.run t ~max_steps:1_000_000 (scheduler sched_rng) with
+    let outcome = Sim.Runtime.run t ~max_steps (scheduler sched_rng) in
+    Obs.Metrics.incr M.trials;
+    Obs.Metrics.observe M.trial_steps
+      (float_of_int (Sim.Trace.count_steps (Sim.Runtime.trace t)));
+    (match outcome with
     | Sim.Runtime.Completed ->
-        if bad (Sim.Runtime.outcome t) then incr bad_count
-    | Sim.Runtime.Deadlocked -> failwith "Monte_carlo.estimate: deadlock"
+        if bad (Sim.Runtime.outcome t) then begin
+          incr bad_count;
+          Obs.Metrics.incr M.bad
+        end
+    | Sim.Runtime.Deadlocked ->
+        incr deadlocks;
+        Obs.Metrics.incr M.deadlocks
     | Sim.Runtime.Step_limit_reached ->
-        failwith "Monte_carlo.estimate: step limit reached");
+        incr step_limited;
+        Obs.Metrics.incr M.step_limited);
+    Log.debug (fun m ->
+        m "trial %d/%d: %a, bad so far %d" trial trials Sim.Runtime.pp_run_result
+          outcome !bad_count)
   done;
+  if !deadlocks > 0 || !step_limited > 0 then
+    Log.warn (fun m ->
+        m "%d/%d trials deadlocked, %d/%d hit the %d-step limit" !deadlocks trials
+          !step_limited trials max_steps);
   let fraction = Stats.fraction ~successes:!bad_count ~trials in
   let ci_low, ci_high = Stats.binomial_ci ~successes:!bad_count ~trials in
-  { trials; bad = !bad_count; fraction; ci_low; ci_high }
+  Log.info (fun m ->
+      m "%d trials: bad %d (%.4f [%.4f, %.4f])" trials !bad_count fraction ci_low
+        ci_high);
+  {
+    trials;
+    bad = !bad_count;
+    deadlocks = !deadlocks;
+    step_limited = !step_limited;
+    fraction;
+    ci_low;
+    ci_high;
+  }
 
 let pp ppf r =
   Fmt.pf ppf "%d/%d = %.4f [%.4f, %.4f]" r.bad r.trials r.fraction r.ci_low
-    r.ci_high
+    r.ci_high;
+  if r.deadlocks > 0 then Fmt.pf ppf " (%d deadlocked)" r.deadlocks;
+  if r.step_limited > 0 then Fmt.pf ppf " (%d step-limited)" r.step_limited

@@ -2,17 +2,29 @@
 
 type result = {
   trials : int;
-  bad : int;
-  fraction : float;
+  bad : int;  (** completed trials satisfying the predicate *)
+  deadlocks : int;  (** trials that ended with no enabled event *)
+  step_limited : int;  (** trials that exhausted the step budget *)
+  fraction : float;  (** [bad / trials] *)
   ci_low : float;  (** 95% Wilson interval *)
   ci_high : float;
 }
 
-(** [estimate ~trials ~seed ~scheduler ~bad mk_config] runs [trials]
-    independent executions of freshly built configurations (so object state
-    never leaks between trials) under the given scheduler factory, and
-    counts outcomes satisfying [bad]. *)
+(** [estimate ?max_steps ~trials ~seed ~scheduler ~bad mk_config] runs
+    [trials] independent executions of freshly built configurations (so
+    object state never leaks between trials) under the given scheduler
+    factory, and counts outcomes satisfying [bad].
+
+    Abnormal terminations do not raise: trials that deadlock or hit
+    [max_steps] (default 1,000,000) are counted in the corresponding
+    fields — and in the [mc.deadlocks] / [mc.step_limited] metrics — and
+    the estimate degrades gracefully. [fraction] and the confidence
+    interval keep all [trials] in the denominator, so an abnormal trial
+    counts as "bad not observed"; callers needing a conditional estimate
+    can recompute from the fields. Progress logs at debug on the
+    [blunting.adversary] source; a warning summarizes abnormal trials. *)
 val estimate :
+  ?max_steps:int ->
   trials:int ->
   seed:int ->
   scheduler:(Util.Rng.t -> Schedulers.t) ->
@@ -21,3 +33,5 @@ val estimate :
   result
 
 val pp : Format.formatter -> result -> unit
+
+val log_src : Logs.src

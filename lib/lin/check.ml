@@ -1,6 +1,14 @@
 open Util
 open History
 
+module M = struct
+  open Obs.Metrics
+
+  let nodes = counter ~help:"DFS nodes visited by the linearizability checker" "lin.nodes_visited"
+  let backtracks = counter ~help:"DFS nodes exhausted without extension" "lin.backtracks"
+  let checks = counter ~help:"linearizability checks run" "lin.checks"
+end
+
 type lin_step = { inv : Action.inv_id; meth : string; arg : Value.t; ret : Value.t }
 type linearization = lin_step list
 
@@ -28,6 +36,7 @@ let search (spec : Spec.t) (h : Hist.t) ~init_steps ~init_chosen ~init_state ~em
   let completed = List.filter (fun (o : Hist.op) -> o.ret <> None) ops in
   let failed = Hashtbl.create 97 in
   let rec dfs steps chosen state =
+    Obs.Metrics.incr M.nodes;
     let all_done =
       List.for_all (fun (o : Hist.op) -> List.mem o.call.inv chosen) completed
     in
@@ -52,11 +61,15 @@ let search (spec : Spec.t) (h : Hist.t) ~init_steps ~init_chosen ~init_state ~em
                   dfs (step :: steps) (o.call.inv :: chosen) state')
         in
         let found = List.exists try_op ops in
-        if not found then Hashtbl.replace failed k ();
+        if not found then begin
+          Obs.Metrics.incr M.backtracks;
+          Hashtbl.replace failed k ()
+        end;
         found
       end
     end
   in
+  Obs.Metrics.incr M.checks;
   dfs init_steps init_chosen init_state
 
 let find spec h =

@@ -1,3 +1,19 @@
+let log_src = Logs.Src.create "blunting.mdp" ~doc:"Exact game solver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Aggregate, process-wide instrumentation across every solver instance;
+   per-instance figures come from [stats ()]. *)
+module M = struct
+  open Obs.Metrics
+
+  let memo_hits = counter ~help:"memo-table hits" "mdp.memo_hits"
+  let memo_misses = counter ~help:"states evaluated (memo misses)" "mdp.memo_misses"
+  let states = counter ~help:"distinct states memoized" "mdp.states_explored"
+  let depth = gauge ~help:"deepest recursion seen" "mdp.max_depth"
+  let solve_seconds = histogram ~help:"value() wall time per root solve" "mdp.solve_seconds"
+end
+
 module type GAME = sig
   type state
   type move
@@ -13,6 +29,23 @@ end
 
 exception Cyclic
 
+type stats = {
+  states : int;  (** distinct states currently memoized *)
+  memo_hits : int;
+  memo_misses : int;
+  max_depth : int;
+}
+
+let hit_rate { memo_hits; memo_misses; _ } =
+  let total = memo_hits + memo_misses in
+  if total = 0 then 0.0 else float_of_int memo_hits /. float_of_int total
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d states, %d hits / %d misses (%.1f%% hit rate), depth %d" s.states
+    s.memo_hits s.memo_misses
+    (100.0 *. hit_rate s)
+    s.max_depth
+
 module Make (G : GAME) = struct
   type mark = In_progress | Value of float
 
@@ -26,42 +59,75 @@ module Make (G : GAME) = struct
   end)
 
   let memo : mark H.t = H.create 65_536
+  let hits = ref 0
+  let misses = ref 0
+  let max_depth = ref 0
 
-  let rec value s =
+  let rec value_at depth s =
+    if depth > !max_depth then begin
+      max_depth := depth;
+      Obs.Metrics.max_gauge M.depth (float_of_int depth)
+    end;
     match H.find_opt memo s with
-    | Some (Value v) -> v
+    | Some (Value v) ->
+        incr hits;
+        Obs.Metrics.incr M.memo_hits;
+        v
     | Some In_progress -> raise Cyclic
     | None ->
+        incr misses;
+        Obs.Metrics.incr M.memo_misses;
         H.replace memo s In_progress;
         let v =
           match G.moves s with
           | [] -> G.terminal_value s
           | ms ->
               List.fold_left
-                (fun acc m -> Float.max acc (transition_value (G.apply s m)))
+                (fun acc m -> Float.max acc (transition_value depth (G.apply s m)))
                 neg_infinity ms
         in
         H.replace memo s (Value v);
+        Obs.Metrics.incr M.states;
         v
 
-  and transition_value = function
-    | G.Det s -> value s
+  and transition_value depth = function
+    | G.Det s -> value_at (depth + 1) s
     | G.Chance dist ->
-        List.fold_left (fun acc (p, s) -> acc +. (p *. value s)) 0.0 dist
+        List.fold_left (fun acc (p, s) -> acc +. (p *. value_at (depth + 1) s)) 0.0 dist
+
+  let value s =
+    let v, _ = Obs.Span.time ~observe:M.solve_seconds "mdp.value" (fun () -> value_at 0 s) in
+    v
 
   let best_move s =
     match G.moves s with
     | [] -> None
     | ms ->
-        let scored = List.map (fun m -> (transition_value (G.apply s m), m)) ms in
+        let scored = List.map (fun m -> (transition_value 0 (G.apply s m), m)) ms in
+        Log.debug (fun f ->
+            f "best_move: %d candidates: %a" (List.length scored)
+              (Fmt.list ~sep:Fmt.comma (fun ppf (v, m) ->
+                   Fmt.pf ppf "%a=%.6f" G.pp_move m v))
+              scored);
         let best =
           List.fold_left
             (fun (bv, bm) (v, m) -> if v > bv then (v, m) else (bv, bm))
             (List.hd scored |> fun (v, m) -> (v, m))
             (List.tl scored)
         in
+        Log.debug (fun f ->
+            f "best_move: chose %a (value %.6f)" G.pp_move (snd best) (fst best));
         Some (snd best)
 
   let explored () = H.length memo
-  let reset () = H.reset memo
+
+  let stats () =
+    { states = H.length memo; memo_hits = !hits; memo_misses = !misses;
+      max_depth = !max_depth }
+
+  let reset () =
+    H.reset memo;
+    hits := 0;
+    misses := 0;
+    max_depth := 0
 end

@@ -35,6 +35,28 @@ end
 
 exception Cyclic
 
+(** Counters describing one solver instance's work since its last [reset]:
+    distinct states memoized, memo-table hits/misses, and the deepest
+    recursion reached. Aggregates across all instances also land in
+    [Obs.Metrics] under the [mdp.] prefix, and every root [value] call
+    records an [mdp.value] span (its wall time feeds the
+    [mdp.solve_seconds] histogram). *)
+type stats = {
+  states : int;
+  memo_hits : int;
+  memo_misses : int;
+  max_depth : int;
+}
+
+(** [hit_rate s] is hits / (hits + misses), 0 when idle. *)
+val hit_rate : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** The solver's [Logs] source, [blunting.mdp]; [best_move] logs candidate
+    values and the chosen move (via the game's [pp_move]) at debug. *)
+val log_src : Logs.src
+
 module Make (G : GAME) : sig
   (** [value s] is the optimal (adversary-maximal) probability from [s]. *)
   val value : G.state -> float
@@ -45,6 +67,9 @@ module Make (G : GAME) : sig
   (** [explored ()] is the number of distinct states memoized so far. *)
   val explored : unit -> int
 
-  (** [reset ()] clears the memo table. *)
+  (** [stats ()] is this instance's work since the last [reset]. *)
+  val stats : unit -> stats
+
+  (** [reset ()] clears the memo table and zeroes [stats]. *)
   val reset : unit -> unit
 end

@@ -343,3 +343,4 @@ let bad_probability ?(atomic_c = true) ?(servers = 3) ~k () =
 let best_move = S.best_move
 let explored_states () = S.explored ()
 let reset () = S.reset ()
+let solver_stats () = S.stats ()

@@ -57,3 +57,8 @@ val explored_states : unit -> int
     state including [k], so solving several [k] in sequence is safe; reset
     only frees memory). *)
 val reset : unit -> unit
+
+(** [solver_stats ()] is the underlying solver instance's work counters
+    (states, memo hits/misses, max depth) since the last [reset] — the
+    cost side of the cost-vs-[k] trade-off reported by the bench harness. *)
+val solver_stats : unit -> Mdp.Solver.stats

@@ -1,0 +1,63 @@
+type phase =
+  | Begin
+  | End
+  | Complete of float
+  | Instant
+  | Counter
+  | Metadata
+
+type event = {
+  name : string;
+  cat : string;
+  phase : phase;
+  ts : float;
+  pid : int;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+let event ?(cat = "blunting") ?(pid = 0) ?(tid = 0) ?(args = []) ~name ~ts phase =
+  { name; cat; phase; ts; pid; tid; args }
+
+let thread_name ~pid ~tid name =
+  event ~cat:"__metadata" ~pid ~tid
+    ~args:[ ("name", Json.String name) ]
+    ~name:"thread_name" ~ts:0.0 Metadata
+
+let process_name ~pid name =
+  event ~cat:"__metadata" ~pid
+    ~args:[ ("name", Json.String name) ]
+    ~name:"process_name" ~ts:0.0 Metadata
+
+let ph_string = function
+  | Begin -> "B"
+  | End -> "E"
+  | Complete _ -> "X"
+  | Instant -> "i"
+  | Counter -> "C"
+  | Metadata -> "M"
+
+let event_to_json e =
+  let base =
+    [
+      ("name", Json.String e.name);
+      ("cat", Json.String e.cat);
+      ("ph", Json.String (ph_string e.phase));
+      ("ts", Json.Float e.ts);
+      ("pid", Json.Int e.pid);
+      ("tid", Json.Int e.tid);
+    ]
+  in
+  let dur = match e.phase with Complete d -> [ ("dur", Json.Float d) ] | _ -> [] in
+  let scope = match e.phase with Instant -> [ ("s", Json.String "t") ] | _ -> [] in
+  let args = match e.args with [] -> [] | kvs -> [ ("args", Json.Obj kvs) ] in
+  Json.Obj (base @ dur @ scope @ args)
+
+let to_json events =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_file path events = Json.write_file path (to_json events)

@@ -1,0 +1,40 @@
+let verbosity_values = [ "quiet"; "app"; "error"; "warn"; "info"; "debug" ]
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "quiet" | "none" | "off" -> Ok None
+  | "app" -> Ok (Some Logs.App)
+  | "error" -> Ok (Some Logs.Error)
+  | "warn" | "warning" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | _ ->
+      Error
+        (Printf.sprintf "unknown verbosity %S (expected one of: %s)" s
+           (String.concat ", " verbosity_values))
+
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf @@ fun ?header ?tags:_ fmt ->
+    let src_name = Logs.Src.name src in
+    let hdr = match header with None -> "" | Some h -> h ^ " " in
+    Format.kfprintf k Format.err_formatter
+      ("%s[%a] %s: @[" ^^ fmt ^^ "@]@.")
+      hdr Logs.pp_level level src_name
+  in
+  { Logs.report }
+
+let setup level =
+  Logs.set_reporter (reporter ());
+  Logs.set_level ~all:true level
+
+let set_verbosity s =
+  match level_of_string s with
+  | Ok level ->
+      setup level;
+      Ok ()
+  | Error _ as e -> e

@@ -1,0 +1,22 @@
+(** [Logs] wiring shared by the CLI, the bench harness and the examples.
+
+    Each library owns its sources ([blunting.sim], [blunting.mdp],
+    [blunting.adversary], ...) created next to the code they instrument;
+    this module only installs a reporter and maps the [--verbosity] flag
+    onto {!Logs.set_level}. With no reporter installed (the default for
+    library consumers) every log statement is a cheap no-op, so the
+    instrumentation can stay in hot paths. *)
+
+(** [level_of_string s] parses [quiet], [app], [error], [warn]/[warning],
+    [info], [debug] (case-insensitive). *)
+val level_of_string : string -> (Logs.level option, string) result
+
+(** [setup level] installs a stderr reporter tagged with the source name
+    and sets the global level. Safe to call more than once. *)
+val setup : Logs.level option -> unit
+
+(** [set_verbosity s] = [level_of_string] + [setup]; the CLI entry point. *)
+val set_verbosity : string -> (unit, string) result
+
+(** The verbosity values accepted by {!set_verbosity}, for [--help] text. *)
+val verbosity_values : string list

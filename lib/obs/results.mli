@@ -1,0 +1,66 @@
+(** The machine-readable experiment-results document.
+
+    The bench harness compares paper-claimed values against measured ones
+    (EXPERIMENTS.md, sections E1–E11); this module gives those comparisons
+    a stable JSON schema so each bench run can land as a [BENCH_*.json]
+    trajectory point. The document carries, per experiment section, the
+    (quantity, paper, measured) rows — with optional numeric fields when
+    the cell has a canonical number — plus free-form section metrics (e.g.
+    solver statistics), and globally the {!Metrics} snapshot and the
+    {!Span} phase timings of the producing run.
+
+    Schema (version {!schema_version}):
+    {v
+    { "schema_version": 1,
+      "generated_by": "<tool>",
+      "generated_at_unix": <float>,
+      "experiments": [
+        { "id": "E1", "title": "...",
+          "rows": [ { "quantity": "...", "paper": "...", "measured": "...",
+                      "paper_value"?: <number>, "measured_value"?: <number> } ],
+          "metrics": { ... } } ],
+      "metrics": { "counters": {..}, "gauges": {..}, "histograms": {..} },
+      "spans": [ { "name": "...", "start_us": <number>, "dur_us": <number> } ] }
+    v}
+    [validate] checks exactly the shape above and is shared by the smoke
+    schema checker and the test suite — the schema cannot silently drift
+    from its validator. *)
+
+val schema_version : int
+
+type t
+type section
+
+(** [create ~generated_by ()] starts an empty document. *)
+val create : generated_by:string -> unit -> t
+
+(** [section t ~id ~title] appends a new experiment section (e.g.
+    [~id:"E3"]). Sections appear in creation order. *)
+val section : t -> id:string -> title:string -> section
+
+(** [row section ~quantity ~paper ~measured] appends a comparison row; the
+    [_value] fields attach canonical numbers when the prose cells have
+    one. *)
+val row :
+  section ->
+  ?paper_value:float ->
+  ?measured_value:float ->
+  quantity:string ->
+  paper:string ->
+  measured:string ->
+  unit ->
+  unit
+
+(** [add_section_metrics section kvs] merges free-form metrics (solver
+    stats, trial counts, ...) into the section's [metrics] object. *)
+val add_section_metrics : section -> (string * Json.t) list -> unit
+
+(** [to_json t] renders the document, snapshotting {!Metrics} and {!Span}
+    at call time. *)
+val to_json : t -> Json.t
+
+val write : t -> path:string -> unit
+
+(** [validate j] checks the schema; [Error] names the first offending
+    field. *)
+val validate : Json.t -> (unit, string) result

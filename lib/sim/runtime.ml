@@ -1,5 +1,25 @@
 open Util
 
+let log_src = Logs.Src.create "blunting.sim" ~doc:"Simulator runtime events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Process-wide instrumentation (see lib/obs): counters aggregate across
+   every runtime instance created in the process; per-run figures come from
+   the trace ([Trace.count_steps] etc.), these feed the registry snapshot. *)
+module M = struct
+  open Obs.Metrics
+
+  let steps = counter ~help:"scheduled events executed" "sim.steps"
+  let messages_sent = counter ~help:"messages enqueued" "sim.messages_sent"
+  let messages_delivered = counter ~help:"messages delivered" "sim.messages_delivered"
+  let reg_reads = counter ~help:"base-register reads" "sim.register_reads"
+  let reg_writes = counter ~help:"base-register writes (incl. RMW)" "sim.register_writes"
+  let coin_flips = counter ~help:"random draws (program + object)" "sim.coin_flips"
+  let crashes = counter ~help:"crash events" "sim.crashes"
+  let runs = counter ~help:"complete run loops" "sim.runs"
+end
+
 type config = {
   n : int;
   objects : Obj_impl.t list;
@@ -160,6 +180,7 @@ let enqueue_message t ~src ~dst msg =
   let msg_id = t.next_msg in
   t.next_msg <- msg_id + 1;
   t.transit <- { msg_id; src; dst; msg } :: t.transit;
+  Obs.Metrics.incr M.messages_sent;
   Trace.add t.trace (Trace.Sent { msg_id; src; dst; msg; inv = current_inv t src });
   msg_id
 
@@ -192,6 +213,7 @@ let deliver t msg_id =
   in
   if not handled then
     t.mailboxes.(m.dst) := (m.msg_id, m.msg) :: !(t.mailboxes.(m.dst));
+  Obs.Metrics.incr M.messages_delivered;
   Trace.add t.trace
     (Trace.Delivered { msg_id = m.msg_id; src = m.src; dst = m.dst; msg = m.msg; handled })
 
@@ -230,20 +252,30 @@ let step_process t p =
               continue msg k)
       | Proc.Read_reg r ->
           let value = Base_reg.read t.store r ~reader:p in
+          Obs.Metrics.incr M.reg_reads;
           Trace.add t.trace (Trace.Reg_read { proc = p; reg = r; value; inv });
           continue value k
       | Proc.Write_reg (r, value) ->
           Base_reg.write t.store r ~writer:p value;
+          Obs.Metrics.incr M.reg_writes;
           Trace.add t.trace (Trace.Reg_write { proc = p; reg = r; value; inv });
           continue () k
       | Proc.Rmw_reg (r, f) ->
           let cur = Base_reg.read t.store r ~reader:p in
           let stored, result = f cur in
           Base_reg.write t.store r ~writer:p stored;
+          Obs.Metrics.incr M.reg_writes;
           Trace.add t.trace (Trace.Reg_write { proc = p; reg = r; value = stored; inv });
           continue result k
       | Proc.Random (bound, kind) ->
           let result = draw_random t bound in
+          Obs.Metrics.incr M.coin_flips;
+          Log.debug (fun m ->
+              m "p%d %s-random(%d) = %d" p
+                (match kind with
+                | Proc.Program_random -> "program"
+                | Proc.Object_random -> "object")
+                bound result);
           Trace.add t.trace (Trace.Randomized { proc = p; kind; bound; result; inv });
           continue result k
       | Proc.Fresh ->
@@ -276,7 +308,14 @@ let step_process t p =
             (Trace.Action (History.Action.Ret { inv = i; value; proc = p; obj_name }));
           continue () k)
 
+let pp_event ppf = function
+  | Step p -> Fmt.pf ppf "step(p%d)" p
+  | Deliver id -> Fmt.pf ppf "deliver(m%d)" id
+  | Crash p -> Fmt.pf ppf "crash(p%d)" p
+
 let step t e =
+  Obs.Metrics.incr M.steps;
+  Log.debug (fun m -> m "%a" pp_event e);
   match e with
   | Step p -> step_process t p
   | Deliver id -> deliver t id
@@ -287,6 +326,7 @@ let step t e =
       | Active _ ->
           t.procs.(p) <- Crashed_p;
           t.crashes <- t.crashes + 1;
+          Obs.Metrics.incr M.crashes;
           Trace.add t.trace (Trace.Crashed p)
       | Terminated | Crashed_p -> raise (Not_enabled e))
 
@@ -295,7 +335,13 @@ let finished t =
 
 type run_result = Completed | Deadlocked | Step_limit_reached
 
+let pp_run_result ppf = function
+  | Completed -> Fmt.string ppf "completed"
+  | Deadlocked -> Fmt.string ppf "deadlocked"
+  | Step_limit_reached -> Fmt.string ppf "step limit reached"
+
 let run t ~max_steps choose =
+  Obs.Metrics.incr M.runs;
   let rec go remaining =
     if finished t then Completed
     else if remaining = 0 then Step_limit_reached
@@ -306,11 +352,11 @@ let run t ~max_steps choose =
           step t (choose t evs);
           go (remaining - 1)
   in
-  go max_steps
+  let result = go max_steps in
+  Log.info (fun m ->
+      m "run %a after %d steps (%d msgs)" pp_run_result result
+        (Trace.count_steps t.trace)
+        (Trace.count_messages t.trace));
+  result
 
 let run_schedule t events = List.iter (step t) events
-
-let pp_event ppf = function
-  | Step p -> Fmt.pf ppf "step(p%d)" p
-  | Deliver id -> Fmt.pf ppf "deliver(m%d)" id
-  | Crash p -> Fmt.pf ppf "crash(p%d)" p

@@ -99,3 +99,10 @@ val random_results : t -> (Proc.rand_kind * int * int) list
 val next_op_descr : t -> int -> string
 
 val pp_event : Format.formatter -> event -> unit
+val pp_run_result : Format.formatter -> run_result -> unit
+
+(** The simulator's [Logs] source, [blunting.sim]; step-level events log at
+    debug, run completions at info. Counters land in [Obs.Metrics] under
+    the [sim.] prefix (steps, messages sent/delivered, register
+    reads/writes, coin flips, crashes). *)
+val log_src : Logs.src

@@ -16,37 +16,59 @@ type entry =
   | Noted of { proc : int; name : string; value : Util.Value.t; inv : int option }
   | Crashed of int
 
-type t = { mutable rev_entries : entry list; mutable count : int }
+type t = {
+  mutable rev_entries : entry list;
+  mutable count : int;
+  mutable forward : entry list option;  (* cache of [List.rev rev_entries] *)
+  mutable sent : int;
+}
 
-let create () = { rev_entries = []; count = 0 }
+let create () = { rev_entries = []; count = 0; forward = None; sent = 0 }
 
 let add t e =
   t.rev_entries <- e :: t.rev_entries;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  t.forward <- None;
+  match e with Sent _ -> t.sent <- t.sent + 1 | _ -> ()
 
-let entries t = List.rev t.rev_entries
+let entries t =
+  match t.forward with
+  | Some l -> l
+  | None ->
+      let l = List.rev t.rev_entries in
+      t.forward <- Some l;
+      l
 
-let history t =
-  List.filter_map (function Action a -> Some a | _ -> None) (entries t)
+(* Selective projections fold over [rev_entries] directly: consing onto the
+   accumulator while walking newest-to-oldest yields temporal order without
+   materializing (or invalidating) the forward list. *)
+let rev_fold_filter f t =
+  List.fold_left (fun acc e -> match f e with Some x -> x :: acc | None -> acc)
+    [] t.rev_entries
+
+let history t = rev_fold_filter (function Action a -> Some a | _ -> None) t
 
 let labels_of_inv t inv =
-  List.filter_map
+  rev_fold_filter
     (function
       | Labeled { name; inv = Some i; _ } when i = inv -> Some name | _ -> None)
-    (entries t)
+    t
 
-let passed t ~inv ~lbl = List.mem lbl (labels_of_inv t inv)
+let passed t ~inv ~lbl =
+  List.exists
+    (function
+      | Labeled { name; inv = Some i; _ } -> i = inv && String.equal name lbl
+      | _ -> false)
+    t.rev_entries
 
 let random_draws t =
-  List.filter_map
+  rev_fold_filter
     (function
       | Randomized { kind; bound; result; _ } -> Some (kind, bound, result)
       | _ -> None)
-    (entries t)
+    t
 
-let count_messages t =
-  List.length (List.filter (function Sent _ -> true | _ -> false) (entries t))
-
+let count_messages t = t.sent
 let count_steps t = t.count
 
 let pp_inv ppf = function None -> () | Some i -> Fmt.pf ppf " #%d" i

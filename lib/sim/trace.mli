@@ -29,7 +29,10 @@ type t
 val create : unit -> t
 val add : t -> entry -> unit
 
-(** [entries t] in temporal order. *)
+(** [entries t] in temporal order. The forward list is cached between
+    [add]s, and the projections below fold over the internal reversed list
+    directly, so repeated accessor calls on a finished trace are linear,
+    not quadratic. *)
 val entries : t -> entry list
 
 (** [history t] is the projection on call/return actions. *)

@@ -1,0 +1,190 @@
+open Obs
+
+let rec value_to_json : Util.Value.t -> Json.t = function
+  | Util.Value.Unit -> Json.Null
+  | Util.Value.Bool b -> Json.Bool b
+  | Util.Value.Int n -> Json.Int n
+  | Util.Value.Str s -> Json.String s
+  | Util.Value.Pair (a, b) -> Json.List [ value_to_json a; value_to_json b ]
+  | Util.Value.List l -> Json.List (List.map value_to_json l)
+
+let reg_to_json (r : Base_reg.id) =
+  Json.Obj
+    [
+      ("obj", Json.String r.obj_name);
+      ("reg", Json.String r.reg);
+      ("index", Json.List (List.map (fun i -> Json.Int i) r.index));
+    ]
+
+let msg_to_json (m : Message.t) =
+  Json.Obj [ ("obj", Json.String m.obj_name); ("body", value_to_json m.body) ]
+
+let inv_to_json = function None -> Json.Null | Some i -> Json.Int i
+
+let rand_kind_string = function
+  | Proc.Program_random -> "program"
+  | Proc.Object_random -> "object"
+
+let entry_to_json ~seq (e : Trace.entry) =
+  let mk type_ fields = Json.Obj (("seq", Json.Int seq) :: ("type", Json.String type_) :: fields) in
+  match e with
+  | Trace.Action (History.Action.Call c) ->
+      mk "call"
+        [
+          ("proc", Json.Int c.proc);
+          ("inv", Json.Int c.inv);
+          ("object", Json.String c.obj_name);
+          ("method", Json.String c.meth);
+          ("arg", value_to_json c.arg);
+          ("tag", Json.String c.tag);
+        ]
+  | Trace.Action (History.Action.Ret { inv; value; proc; obj_name }) ->
+      mk "return"
+        [
+          ("proc", Json.Int proc);
+          ("inv", Json.Int inv);
+          ("object", Json.String obj_name);
+          ("value", value_to_json value);
+        ]
+  | Trace.Reg_read { proc; reg; value; inv } ->
+      mk "reg_read"
+        [
+          ("proc", Json.Int proc);
+          ("reg", reg_to_json reg);
+          ("value", value_to_json value);
+          ("inv", inv_to_json inv);
+        ]
+  | Trace.Reg_write { proc; reg; value; inv } ->
+      mk "reg_write"
+        [
+          ("proc", Json.Int proc);
+          ("reg", reg_to_json reg);
+          ("value", value_to_json value);
+          ("inv", inv_to_json inv);
+        ]
+  | Trace.Sent { msg_id; src; dst; msg; inv } ->
+      mk "sent"
+        [
+          ("msg_id", Json.Int msg_id);
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("msg", msg_to_json msg);
+          ("inv", inv_to_json inv);
+        ]
+  | Trace.Delivered { msg_id; src; dst; msg; handled } ->
+      mk "delivered"
+        [
+          ("msg_id", Json.Int msg_id);
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("msg", msg_to_json msg);
+          ("handled", Json.Bool handled);
+        ]
+  | Trace.Received { msg_id; proc; msg; inv } ->
+      mk "received"
+        [
+          ("msg_id", Json.Int msg_id);
+          ("proc", Json.Int proc);
+          ("msg", msg_to_json msg);
+          ("inv", inv_to_json inv);
+        ]
+  | Trace.Randomized { proc; kind; bound; result; inv } ->
+      mk "random"
+        [
+          ("proc", Json.Int proc);
+          ("kind", Json.String (rand_kind_string kind));
+          ("bound", Json.Int bound);
+          ("result", Json.Int result);
+          ("inv", inv_to_json inv);
+        ]
+  | Trace.Labeled { proc; name; inv } ->
+      mk "label"
+        [ ("proc", Json.Int proc); ("name", Json.String name); ("inv", inv_to_json inv) ]
+  | Trace.Noted { proc; name; value; inv } ->
+      mk "note"
+        [
+          ("proc", Json.Int proc);
+          ("name", Json.String name);
+          ("value", value_to_json value);
+          ("inv", inv_to_json inv);
+        ]
+  | Trace.Crashed p -> mk "crash" [ ("proc", Json.Int p) ]
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun seq e ->
+      Buffer.add_string buf (Json.to_string (entry_to_json ~seq e));
+      Buffer.add_char buf '\n')
+    (Trace.entries t);
+  Buffer.contents buf
+
+let write_jsonl ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_jsonl t))
+
+(* ---- Chrome trace --------------------------------------------------- *)
+
+(* The lane an entry is drawn on: the acting process; deliveries land on
+   the destination's lane (that is where the state changes). *)
+let lane : Trace.entry -> int = function
+  | Trace.Action a -> History.Action.proc a
+  | Trace.Reg_read { proc; _ }
+  | Trace.Reg_write { proc; _ }
+  | Trace.Received { proc; _ }
+  | Trace.Randomized { proc; _ }
+  | Trace.Labeled { proc; _ }
+  | Trace.Noted { proc; _ } ->
+      proc
+  | Trace.Sent { src; _ } -> src
+  | Trace.Delivered { dst; _ } -> dst
+  | Trace.Crashed p -> p
+
+let chrome_events ?(pid = 0) t =
+  let entries = Trace.entries t in
+  let nprocs = List.fold_left (fun acc e -> max acc (lane e + 1)) 0 entries in
+  let meta =
+    Chrome_trace.process_name ~pid "blunting simulator"
+    :: List.init nprocs (fun p -> Chrome_trace.thread_name ~pid ~tid:p (Fmt.str "p%d" p))
+  in
+  (* reuse the JSONL fields minus the redundant seq/type as slice args *)
+  let args_of e =
+    match entry_to_json ~seq:0 e with
+    | Json.Obj kvs -> List.filter (fun (k, _) -> k <> "seq" && k <> "type") kvs
+    | _ -> []
+  in
+  let body =
+    List.mapi
+      (fun seq e ->
+        let ts = float_of_int seq in
+        let tid = lane e in
+        let mk ?(cat = "sim") name phase =
+          Chrome_trace.event ~cat ~pid ~tid ~args:(args_of e) ~name ~ts phase
+        in
+        match e with
+        | Trace.Action (History.Action.Call c) ->
+            mk ~cat:"invocation" (Fmt.str "%s.%s" c.obj_name c.meth) Chrome_trace.Begin
+        | Trace.Action (History.Action.Ret { obj_name; _ }) ->
+            mk ~cat:"invocation" (Fmt.str "%s ret" obj_name) Chrome_trace.End
+        | Trace.Reg_read { reg; _ } ->
+            mk (Fmt.str "read %s.%s" reg.obj_name reg.reg) Chrome_trace.Instant
+        | Trace.Reg_write { reg; _ } ->
+            mk (Fmt.str "write %s.%s" reg.obj_name reg.reg) Chrome_trace.Instant
+        | Trace.Sent { msg; dst; _ } ->
+            mk ~cat:"message" (Fmt.str "send %s -> p%d" msg.obj_name dst) Chrome_trace.Instant
+        | Trace.Delivered { msg; _ } ->
+            mk ~cat:"message" (Fmt.str "deliver %s" msg.obj_name) Chrome_trace.Instant
+        | Trace.Received { msg; _ } ->
+            mk ~cat:"message" (Fmt.str "recv %s" msg.obj_name) Chrome_trace.Instant
+        | Trace.Randomized { kind; bound; result; _ } ->
+            mk ~cat:"random"
+              (Fmt.str "%s-random(%d)=%d" (rand_kind_string kind) bound result)
+              Chrome_trace.Instant
+        | Trace.Labeled { name; _ } -> mk ("<" ^ name ^ ">") Chrome_trace.Instant
+        | Trace.Noted { name; _ } -> mk ("note " ^ name) Chrome_trace.Instant
+        | Trace.Crashed p -> mk (Fmt.str "crash p%d" p) Chrome_trace.Instant)
+      entries
+  in
+  meta @ body
+
+let write_chrome ~path t = Chrome_trace.write_file path (chrome_events t)

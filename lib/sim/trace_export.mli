@@ -1,0 +1,36 @@
+(** Structured export of execution traces.
+
+    Two machine-readable renderings of a {!Trace.t}:
+
+    - {b JSONL}: one compact JSON object per trace entry, stable field
+      names ([seq], [type], plus per-type fields) — the grep-able,
+      diff-able form consumed by tests and ad-hoc analysis;
+    - {b Chrome trace}: the [chrome://tracing] / Perfetto event format,
+      one lane per process, with invocation [Call]/[Ret] markers rendered
+      as nested begin/end slices and every other entry as an instant
+      event.
+
+    Simulated executions carry no wall-clock; both exports use the entry's
+    position in the trace as its timestamp (one simulated step = 1 µs in
+    the Chrome rendering), which is exactly the step-level adversary's
+    notion of time. *)
+
+(** [value_to_json v] embeds a {!Util.Value.t}: [Unit] ↦ [null], pairs ↦
+    two-element arrays. *)
+val value_to_json : Util.Value.t -> Obs.Json.t
+
+(** [entry_to_json ~seq e] is the JSONL object for entry number [seq]. *)
+val entry_to_json : seq:int -> Trace.entry -> Obs.Json.t
+
+(** [to_jsonl t] is the whole trace, one JSON object per line (with a
+    trailing newline). *)
+val to_jsonl : Trace.t -> string
+
+val write_jsonl : path:string -> Trace.t -> unit
+
+(** [chrome_events ?pid t] renders the trace as Chrome trace events:
+    metadata lane names, per-process slices and instants. *)
+val chrome_events : ?pid:int -> Trace.t -> Obs.Chrome_trace.event list
+
+(** [write_chrome ~path t] writes the loadable trace document. *)
+val write_chrome : path:string -> Trace.t -> unit

@@ -17,6 +17,7 @@ let () =
       ("model-ghw-multi", Test_model.multi_ghw_tests);
       ("model-va", Test_model.va_tests);
       ("adversary", Test_adversary.tests);
+      ("obs", Test_obs.tests);
       ("programs", Test_programs.tests);
       ("programs-benor", Test_programs.ben_or_tests);
     ]

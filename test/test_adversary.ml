@@ -75,6 +75,48 @@ let test_monte_carlo_abd_weakener_completes () =
   Alcotest.(check int) "all trials ran" 100 r.trials;
   Alcotest.(check bool) "ci sane" true (r.ci_low <= r.fraction && r.fraction <= r.ci_high)
 
+let test_monte_carlo_counts_deadlocks () =
+  (* every process blocks on a message that never arrives: the estimate
+     must count the deadlocks, not raise *)
+  let deadlock_config () =
+    let program ~self:_ =
+      let open Sim.Proc.Syntax in
+      let* _ = Sim.Proc.recv ~descr:"never" (fun _ -> false) in
+      Sim.Proc.return ()
+    in
+    {
+      Runtime.n = 2;
+      objects = [];
+      program;
+      enable_crashes = false;
+      max_crashes = 0;
+    }
+  in
+  let r =
+    Adversary.Monte_carlo.estimate ~trials:5 ~seed:3
+      ~scheduler:Adversary.Schedulers.uniform
+      ~bad:(fun _ -> true)
+      deadlock_config
+  in
+  Alcotest.(check int) "all trials counted" 5 r.trials;
+  Alcotest.(check int) "all deadlocked" 5 r.deadlocks;
+  Alcotest.(check int) "none step-limited" 0 r.step_limited;
+  (* abnormal trials never count as bad: the outcome was not observed *)
+  Alcotest.(check int) "no bad outcomes" 0 r.bad;
+  Alcotest.(check (float 0.0)) "fraction over all trials" 0.0 r.fraction
+
+let test_monte_carlo_counts_step_limits () =
+  (* the ABD weakener needs ~190 steps; a 50-step budget cannot finish *)
+  let r =
+    Adversary.Monte_carlo.estimate ~max_steps:50 ~trials:5 ~seed:7
+      ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
+      Programs.Weakener.abd_config
+  in
+  Alcotest.(check int) "all trials counted" 5 r.trials;
+  Alcotest.(check int) "all step-limited" 5 r.step_limited;
+  Alcotest.(check int) "none deadlocked" 0 r.deadlocks;
+  Alcotest.(check int) "no bad outcomes" 0 r.bad
+
 let test_round_robin_scheduler_completes () =
   let config = Programs.Weakener.abd_config () in
   let t = Runtime.create config (Runtime.Gen (Util.Rng.of_int 5)) in
@@ -120,6 +162,10 @@ let tests =
       test_monte_carlo_atomic_weakener;
     Alcotest.test_case "Monte Carlo: ABD weakener estimation" `Quick
       test_monte_carlo_abd_weakener_completes;
+    Alcotest.test_case "Monte Carlo: deadlocked trials are counted" `Quick
+      test_monte_carlo_counts_deadlocks;
+    Alcotest.test_case "Monte Carlo: step-limited trials are counted" `Quick
+      test_monte_carlo_counts_step_limits;
     Alcotest.test_case "round-robin scheduler" `Quick test_round_robin_scheduler_completes;
     Alcotest.test_case "eager-delivery scheduler" `Quick test_eager_delivery_completes;
     Alcotest.test_case "prefer-process scheduler" `Quick test_prefer_process;

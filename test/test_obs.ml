@@ -1,0 +1,321 @@
+(* Tests for the observability layer: metrics registry semantics, the JSON
+   printer/parser round-trip, structured trace export (JSONL and Chrome
+   trace), solver work statistics, and the results-document schema. *)
+
+open Util
+
+(* ---- metrics -------------------------------------------------------- *)
+
+let test_counter_semantics () =
+  let c = Obs.Metrics.counter ~help:"test counter" "test.obs.c1" in
+  let before = Obs.Metrics.counter_value c in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  Alcotest.(check int) "incr + add" (before + 5) (Obs.Metrics.counter_value c);
+  (* registration is idempotent by name: same cell comes back *)
+  let c' = Obs.Metrics.counter "test.obs.c1" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "same cell" (before + 6) (Obs.Metrics.counter_value c);
+  Alcotest.(check (option int))
+    "find_counter sees it" (Some (before + 6))
+    (Obs.Metrics.find_counter "test.obs.c1");
+  (* a name cannot change kind *)
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs.Metrics: \"test.obs.c1\" already registered as a counter")
+    (fun () -> ignore (Obs.Metrics.gauge "test.obs.c1"))
+
+let test_gauge_semantics () =
+  let g = Obs.Metrics.gauge "test.obs.g1" in
+  Obs.Metrics.set_gauge g 3.0;
+  Obs.Metrics.max_gauge g 1.0;
+  Alcotest.(check (float 0.0)) "max keeps high-water" 3.0 (Obs.Metrics.gauge_value g);
+  Obs.Metrics.max_gauge g 7.5;
+  Alcotest.(check (float 0.0)) "max raises" 7.5 (Obs.Metrics.gauge_value g)
+
+let test_histogram_semantics () =
+  let h = Obs.Metrics.histogram ~buckets:[ 1.0; 10.0; 100.0 ] "test.obs.h1" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 5.0; 50.0; 500.0; 2.0 ];
+  let s = Obs.Metrics.histogram_summary h in
+  Alcotest.(check int) "count" 5 s.count;
+  Alcotest.(check (float 1e-9)) "sum" 557.5 s.sum;
+  Alcotest.(check (float 0.0)) "min" 0.5 s.min;
+  Alcotest.(check (float 0.0)) "max" 500.0 s.max;
+  (* cumulative counts over the non-empty buckets, +inf last *)
+  List.iter
+    (fun (ub, expect) ->
+      match List.assoc_opt ub s.buckets with
+      | Some n -> Alcotest.(check int) (Fmt.str "bucket <= %g" ub) expect n
+      | None -> Alcotest.failf "bucket %g missing" ub)
+    [ (1.0, 1); (10.0, 3); (100.0, 4); (infinity, 5) ]
+
+let test_snapshot_shape_and_reset () =
+  let c = Obs.Metrics.counter "test.obs.reset_me" in
+  Obs.Metrics.add c 41;
+  (match Obs.Metrics.snapshot () with
+  | Obs.Json.Obj fields ->
+      List.iter
+        (fun k ->
+          match List.assoc_opt k fields with
+          | Some (Obs.Json.Obj _) -> ()
+          | _ -> Alcotest.failf "snapshot missing object %S" k)
+        [ "counters"; "gauges"; "histograms" ]
+  | _ -> Alcotest.fail "snapshot is not an object");
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Metrics.counter_value c)
+
+(* ---- json ----------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("s", String "a \"quoted\"\nline\twith \\ escapes");
+          ("i", Int (-42));
+          ("f", Float 0.125);
+          ("b", Bool true);
+          ("n", Null);
+          ("l", List [ Int 1; Float 2.5; String "x"; List []; Obj [] ]);
+        ])
+  in
+  (match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "compact round-trip" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* the indented printer parses back too *)
+  match Obs.Json.of_string (Fmt.str "%a" Obs.Json.pp v) with
+  | Ok v' -> Alcotest.(check bool) "pretty round-trip" true (v = v')
+  | Error e -> Alcotest.failf "pretty parse failed: %s" e
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "truex"; "1 2" ]
+
+(* ---- trace export --------------------------------------------------- *)
+
+let weakener_trace () =
+  let config = Programs.Weakener.abd_config () in
+  let t = Sim.Runtime.create config (Sim.Runtime.Gen (Rng.of_int 3)) in
+  (match Sim.Runtime.run t ~max_steps:100_000 Adversary.Schedulers.eager_delivery with
+  | Sim.Runtime.Completed -> ()
+  | _ -> Alcotest.fail "weakener run did not complete");
+  Sim.Runtime.trace t
+
+let test_jsonl_round_trip () =
+  let tr = weakener_trace () in
+  let lines =
+    String.split_on_char '\n' (Sim.Trace_export.to_jsonl tr)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per entry"
+    (List.length (Sim.Trace.entries tr))
+    (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Obs.Json.of_string line with
+      | Error e -> Alcotest.failf "line %d invalid: %s" i e
+      | Ok json ->
+          Alcotest.(check (option int))
+            (Fmt.str "seq of line %d" i)
+            (Some i)
+            (Option.bind (Obs.Json.member "seq" json) Obs.Json.to_int_opt);
+          (match Option.bind (Obs.Json.member "type" json) Obs.Json.to_string_opt with
+          | Some _ -> ()
+          | None -> Alcotest.failf "line %d has no type" i))
+    lines
+
+let test_chrome_round_trip () =
+  let tr = weakener_trace () in
+  let events = Sim.Trace_export.chrome_events tr in
+  let doc = Obs.Chrome_trace.to_json events in
+  (* the document survives our own parser *)
+  (match Obs.Json.of_string (Obs.Json.to_string doc) with
+  | Error e -> Alcotest.failf "chrome doc invalid: %s" e
+  | Ok json -> (
+      match Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.to_list_opt with
+      | None -> Alcotest.fail "no traceEvents array"
+      | Some evs ->
+          Alcotest.(check int) "all events rendered" (List.length events)
+            (List.length evs)));
+  (* begin/end slices balance per lane, so Perfetto can nest them *)
+  let opens = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Obs.Chrome_trace.event) ->
+      let d =
+        match e.phase with Obs.Chrome_trace.Begin -> 1 | End -> -1 | _ -> 0
+      in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt opens e.tid) in
+      Hashtbl.replace opens e.tid (cur + d);
+      Alcotest.(check bool) "never closes an unopened slice" true (cur + d >= 0))
+    events;
+  Hashtbl.iter
+    (fun tid depth ->
+      Alcotest.(check int) (Fmt.str "lane %d balanced" tid) 0 depth)
+    opens;
+  (* metadata names every lane that carries events *)
+  let named =
+    List.filter_map
+      (fun (e : Obs.Chrome_trace.event) ->
+        if e.name = "thread_name" then Some e.tid else None)
+      events
+  in
+  List.iter
+    (fun (e : Obs.Chrome_trace.event) ->
+      match e.phase with
+      | Obs.Chrome_trace.Metadata -> ()
+      | _ ->
+          Alcotest.(check bool)
+            (Fmt.str "lane %d named" e.tid)
+            true (List.mem e.tid named))
+    events
+
+let test_trace_accessors_cached () =
+  let tr = weakener_trace () in
+  (* the forward list is cached: same physical list on repeated access *)
+  Alcotest.(check bool) "entries cached" true
+    (Sim.Trace.entries tr == Sim.Trace.entries tr);
+  let sent =
+    List.length
+      (List.filter
+         (function Sim.Trace.Sent _ -> true | _ -> false)
+         (Sim.Trace.entries tr))
+  in
+  Alcotest.(check int) "count_messages = #Sent" sent (Sim.Trace.count_messages tr)
+
+(* ---- spans ---------------------------------------------------------- *)
+
+let test_spans () =
+  Obs.Span.reset ();
+  let v, dt = Obs.Span.time "test.span" (fun () -> 6 * 7) in
+  Alcotest.(check int) "result passed through" 42 v;
+  Alcotest.(check bool) "duration non-negative" true (dt >= 0.0);
+  (match Obs.Span.spans () with
+  | [ s ] ->
+      Alcotest.(check string) "span name" "test.span" s.Obs.Span.name;
+      Alcotest.(check bool) "span duration" true (s.Obs.Span.dur_us >= 0.0)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  Alcotest.(check int) "one chrome slice" 1
+    (List.length
+       (List.filter
+          (fun (e : Obs.Chrome_trace.event) ->
+            match e.phase with Obs.Chrome_trace.Complete _ -> true | _ -> false)
+          (Obs.Span.chrome_events ())));
+  Obs.Span.reset ()
+
+(* ---- solver stats --------------------------------------------------- *)
+
+(* A tiny acyclic game: countdown from n, two moves per state (one
+   deterministic, one a fair chance step that may shortcut to 0). *)
+module Tiny = struct
+  type state = int
+  type move = Walk | Gamble
+
+  let moves s = if s = 0 then [] else [ Walk; Gamble ]
+
+  type transition = Det of state | Chance of (float * state) list
+
+  let apply s = function
+    | Walk -> Det (s - 1)
+    | Gamble -> Chance [ (0.5, s - 1); (0.5, 0) ]
+
+  let terminal_value _ = 1.0
+  let pp_move ppf m = Fmt.string ppf (match m with Walk -> "walk" | Gamble -> "gamble")
+end
+
+module Tiny_solver = Mdp.Solver.Make (Tiny)
+
+let test_solver_stats_memoization () =
+  Tiny_solver.reset ();
+  let v = Tiny_solver.value 8 in
+  Alcotest.(check (float 1e-9)) "value" 1.0 v;
+  let s1 = Tiny_solver.stats () in
+  Alcotest.(check int) "states 0..8 memoized" 9 s1.states;
+  Alcotest.(check int) "one miss per state" 9 s1.memo_misses;
+  Alcotest.(check bool) "revisits hit the memo" true (s1.memo_hits > 0);
+  Alcotest.(check int) "depth reached the countdown" 8 s1.max_depth;
+  (* solving the same root again is a single memo hit: no new work *)
+  let _ = Tiny_solver.value 8 in
+  let s2 = Tiny_solver.stats () in
+  Alcotest.(check int) "no new states" s1.states s2.states;
+  Alcotest.(check int) "no new misses" s1.memo_misses s2.memo_misses;
+  Alcotest.(check int) "exactly one more hit" (s1.memo_hits + 1) s2.memo_hits;
+  Alcotest.(check bool) "hit rate grew" true
+    (Mdp.Solver.hit_rate s2 > Mdp.Solver.hit_rate s1);
+  (* best_move exists away from terminals and is optimal-value-attaining *)
+  (match Tiny_solver.best_move 3 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no best move at 3");
+  Tiny_solver.reset ();
+  let s3 = Tiny_solver.stats () in
+  Alcotest.(check int) "reset zeroes stats" 0
+    (s3.states + s3.memo_hits + s3.memo_misses + s3.max_depth)
+
+(* ---- results document ----------------------------------------------- *)
+
+let test_results_schema () =
+  let doc = Obs.Results.create ~generated_by:"test suite" () in
+  let s = Obs.Results.section doc ~id:"E0" ~title:"schema self-test" in
+  Obs.Results.row s ~quantity:"prose only" ~paper:"1/2" ~measured:"0.5003" ();
+  Obs.Results.row s ~paper_value:0.5 ~measured_value:0.5003 ~quantity:"numeric"
+    ~paper:"1/2" ~measured:"0.5003" ();
+  Obs.Results.add_section_metrics s [ ("states", Obs.Json.Int 12) ];
+  let json = Obs.Results.to_json doc in
+  (match Obs.Results.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid doc rejected: %s" e);
+  (* the serialized form validates too *)
+  (match Obs.Json.of_string (Obs.Json.to_string json) with
+  | Ok j -> (
+      match Obs.Results.validate j with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "round-tripped doc rejected: %s" e)
+  | Error e -> Alcotest.failf "doc did not parse: %s" e);
+  (* broken documents are named, not accepted *)
+  List.iter
+    (fun bad ->
+      match Obs.Results.validate bad with
+      | Ok () -> Alcotest.fail "invalid doc accepted"
+      | Error _ -> ())
+    [
+      Obs.Json.Obj [];
+      Obs.Json.Obj [ ("schema_version", Obs.Json.Int 999) ];
+      Obs.Json.Null;
+    ]
+
+(* ---- log levels ----------------------------------------------------- *)
+
+let test_log_levels () =
+  List.iter
+    (fun s ->
+      match Obs.Log.level_of_string s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%S rejected: %s" s e)
+    Obs.Log.verbosity_values;
+  (match Obs.Log.level_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus level accepted"
+  | Error _ -> ());
+  match Obs.Log.set_verbosity "quiet" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "quiet rejected: %s" e
+
+let tests =
+  [
+    Alcotest.test_case "metrics: counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "metrics: gauge semantics" `Quick test_gauge_semantics;
+    Alcotest.test_case "metrics: histogram semantics" `Quick test_histogram_semantics;
+    Alcotest.test_case "metrics: snapshot shape, reset" `Quick
+      test_snapshot_shape_and_reset;
+    Alcotest.test_case "json: round-trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "trace export: JSONL round-trip" `Quick test_jsonl_round_trip;
+    Alcotest.test_case "trace export: Chrome trace" `Quick test_chrome_round_trip;
+    Alcotest.test_case "trace: cached accessors" `Quick test_trace_accessors_cached;
+    Alcotest.test_case "spans: timing and export" `Quick test_spans;
+    Alcotest.test_case "solver: memo-hit statistics" `Quick
+      test_solver_stats_memoization;
+    Alcotest.test_case "results: schema round-trip" `Quick test_results_schema;
+    Alcotest.test_case "log: verbosity levels" `Quick test_log_levels;
+  ]
