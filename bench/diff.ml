@@ -1,0 +1,61 @@
+(* Regression diff between two bench results documents.
+
+     dune exec bench/diff.exe -- BENCH_2026-08-06.json bench_smoke.json
+     dune exec bench/diff.exe -- --paper-tol 1e-4 baseline.json current.json
+
+   Thin CLI over Obs.Diff: validates both documents (schema v1 and v2 both
+   accepted), compares paper-vs-measured agreement in CURRENT and
+   CURRENT-vs-BASELINE drift, prints the findings table, and exits 1 on
+   hard failures, 2 on unloadable/invalid input. The @smoke alias runs the
+   freshly emitted smoke document through this against the committed
+   baseline. *)
+
+let () =
+  let config = ref Obs.Diff.default_config in
+  let paths = ref [] in
+  let usage () =
+    Fmt.epr
+      "usage: diff.exe [--paper-tol F] [--value-rtol F] [--time-rtol F] \
+       [--no-spans] BASELINE.json CURRENT.json@.";
+    exit 2
+  in
+  let float_arg name v rest k =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> k f rest
+    | _ ->
+        Fmt.epr "%s: expected a non-negative number, got %s@." name v;
+        usage ()
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--paper-tol" :: v :: rest ->
+        float_arg "--paper-tol" v rest (fun f rest ->
+            config := { !config with paper_tol = f };
+            parse rest)
+    | "--value-rtol" :: v :: rest ->
+        float_arg "--value-rtol" v rest (fun f rest ->
+            config := { !config with value_rtol = f };
+            parse rest)
+    | "--time-rtol" :: v :: rest ->
+        float_arg "--time-rtol" v rest (fun f rest ->
+            config := { !config with time_rtol = f };
+            parse rest)
+    | "--no-spans" :: rest ->
+        config := { !config with compare_spans = false };
+        parse rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+        paths := arg :: !paths;
+        parse rest
+    | arg :: _ ->
+        Fmt.epr "unknown argument %s@." arg;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !paths with
+  | [ baseline; current ] -> (
+      match Obs.Diff.run_files ~config:!config ~baseline ~current Fmt.stdout with
+      | Ok rc -> exit rc
+      | Error e ->
+          Fmt.epr "%s@." e;
+          exit 2)
+  | _ -> usage ()

@@ -7,14 +7,20 @@
      dune exec bench/main.exe                    # all experiments + micro-benches
      dune exec bench/main.exe -- --json out.json # also write the results document
      dune exec bench/main.exe -- --only E1,E4    # run a subset
+     dune exec bench/main.exe -- --baseline BENCH_X.json  # diff after the run
+     dune exec bench/main.exe -- --progress      # live solver telemetry
      dune exec bench/main.exe -- --verbosity info
      BLUNTING_KMAX=3 dune exec bench/main.exe    # cap the exact solver's k
      BLUNTING_SKIP_BECHAMEL=1 dune exec bench/main.exe
 
    The --json document follows the Obs.Results schema (see
    lib/obs/results.mli and EXPERIMENTS.md): per-section paper-vs-measured
-   rows, section metrics (solver statistics, Monte-Carlo tallies), the
-   process-wide Obs.Metrics snapshot and the span log. *)
+   rows, section metrics (solver statistics, Monte-Carlo tallies, counter
+   and GC deltas scoped to the section), the process-wide Obs.Metrics
+   snapshot and the span log. --baseline diffs the freshly produced
+   document against a saved BENCH_*.json in-process (Obs.Diff) and exits
+   non-zero on hard regressions — paper-value drift, or baseline drift on
+   a deterministic quantity. *)
 
 open Util
 
@@ -22,22 +28,31 @@ open Util
 
 type options = {
   json_path : string option;
+  baseline_path : string option;
   only : string list option;  (* uppercased section ids *)
+  progress : bool;
   mutable skip_bechamel : bool;
 }
 
 let options =
-  let json_path = ref None and only = ref None and skip_bechamel = ref false in
+  let json_path = ref None
+  and baseline_path = ref None
+  and only = ref None
+  and progress = ref false
+  and skip_bechamel = ref false in
   let usage () =
     Fmt.epr
-      "usage: main.exe [--json PATH] [--only E1,E2,...] [--skip-bechamel] \
-       [--verbosity LEVEL]@.";
+      "usage: main.exe [--json PATH] [--baseline PATH] [--only E1,E2,...] \
+       [--progress] [--skip-bechamel] [--verbosity LEVEL]@.";
     exit 2
   in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
         json_path := Some path;
+        parse rest
+    | "--baseline" :: path :: rest ->
+        baseline_path := Some path;
         parse rest
     | "--only" :: ids :: rest ->
         only :=
@@ -46,6 +61,9 @@ let options =
             |> List.map String.trim
             |> List.filter (fun s -> s <> "")
             |> List.map String.uppercase_ascii);
+        parse rest
+    | "--progress" :: rest ->
+        progress := true;
         parse rest
     | "--skip-bechamel" :: rest ->
         skip_bechamel := true;
@@ -63,7 +81,13 @@ let options =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if Sys.getenv_opt "BLUNTING_SKIP_BECHAMEL" <> None then skip_bechamel := true;
-  { json_path = !json_path; only = !only; skip_bechamel = !skip_bechamel }
+  {
+    json_path = !json_path;
+    baseline_path = !baseline_path;
+    only = !only;
+    progress = !progress;
+    skip_bechamel = !skip_bechamel;
+  }
 
 let runs id =
   match options.only with
@@ -123,6 +147,7 @@ let e2_abd () =
   let r =
     Report.section ~id:"E2" ~title:"Figure 1 / Appendix A.2 — weakener with plain ABD" ()
   in
+  Model.Weakener_abd.reset ();
   let wins = Adversary.Figure1.always_wins () in
   let v, dt, st =
     timed_solve "E2 solve ABD k=1" (fun () -> Model.Weakener_abd.bad_probability ~k:1 ())
@@ -189,6 +214,7 @@ let e2_abd () =
 
 let e3_abd2 () =
   let r = Report.section ~id:"E3" ~title:"Appendix A.3 — weakener with ABD^2" () in
+  Model.Weakener_abd.reset ();
   let v, dt, st =
     timed_solve "E3 solve ABD k=2" (fun () -> Model.Weakener_abd.bad_probability ~k:2 ())
   in
@@ -275,7 +301,8 @@ let e4_bound_table () =
         ~paper:"smallest k with 1-((k-1)/k)^2 <= eps"
         ~measured_value:(float_of_int mk) ~measured:(string_of_int mk) ())
     [ 0.5; 0.25; 0.1; 0.01 ];
-  Table.print t3
+  Table.print t3;
+  Report.finish r
 
 let e5_convergence () =
   let r =
@@ -797,6 +824,11 @@ let () =
   Fmt.pr
     "Blunting an Adversary Against Randomized Concurrent Programs@.\
      — experiment harness (PODC 2022 reproduction)@.";
+  if options.progress then begin
+    let hook = Some (fun p -> Fmt.epr "  [mdp] %a@." Mdp.Solver.pp_progress p) in
+    Model.Weakener_abd.set_progress hook;
+    Model.Weakener_va.set_progress hook
+  end;
   let sections =
     [
       ("E1", e1_atomic);
@@ -816,5 +848,22 @@ let () =
   if (not options.skip_bechamel) && runs "BENCH" then bechamel ();
   (match options.json_path with
   | Some path -> Report.write_json ~path
+  | None -> ());
+  (match options.baseline_path with
+  | Some path -> (
+      match Obs.Diff.load_file path with
+      | Error e ->
+          Fmt.epr "baseline: %s@." e;
+          exit 2
+      | Ok baseline -> (
+          Fmt.pr "@.=== DIFF  against baseline %s@.@." path;
+          match Obs.Diff.diff ~baseline ~current:(Report.doc_json ()) () with
+          | Error e ->
+              Fmt.epr "diff: %s@." e;
+              exit 2
+          | Ok report ->
+              Obs.Diff.pp_report Fmt.stdout report;
+              let rc = Obs.Diff.exit_code report in
+              if rc <> 0 then exit rc))
   | None -> ());
   Fmt.pr "@.done.@."

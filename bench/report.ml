@@ -5,17 +5,32 @@
    which `main.exe --json PATH` writes at the end of the run. Rows added
    with [row] appear in both; [table_row] is for grid-shaped tables whose
    cells are not (quantity, paper, measured) comparisons — those sections
-   publish their machine-readable content via [metrics] instead. *)
+   publish their machine-readable content via [metrics] instead.
+
+   [section] additionally snapshots the process-wide counter registry and
+   the GC state, and [finish] lands the deltas in the section's metrics —
+   so a section's "counters"/"gc" objects describe that section's work,
+   not cumulative totals since process start. *)
 
 open Util
 
 let doc = Obs.Results.create ~generated_by:"blunting bench harness" ()
 
-type t = { table : Table.t; section : Obs.Results.section }
+type t = {
+  table : Table.t;
+  section : Obs.Results.section;
+  counters0 : (string * int) list;
+  gc0 : Obs.Gc_stats.sample;
+}
 
 let section ?(headers = [ "quantity"; "paper"; "measured" ]) ~id ~title () =
   Fmt.pr "@.=== %s  %s@.@." id title;
-  { table = Table.create headers; section = Obs.Results.section doc ~id ~title }
+  {
+    table = Table.create headers;
+    section = Obs.Results.section doc ~id ~title;
+    counters0 = Obs.Metrics.counters ();
+    gc0 = Obs.Gc_stats.sample ();
+  }
 
 (* A comparison row: stdout table + JSON. *)
 let row t ?paper_value ?measured_value ~quantity ~paper ~measured () =
@@ -52,7 +67,27 @@ let mc_json (r : Adversary.Monte_carlo.result) =
     ("mc_ci_high", Obs.Json.Float r.ci_high);
   ]
 
-let finish t = Table.print t.table
+let finish t =
+  let counter_deltas =
+    List.filter_map
+      (fun (name, v) ->
+        let v0 =
+          match List.assoc_opt name t.counters0 with Some v0 -> v0 | None -> 0
+        in
+        if v > v0 then Some (name, Obs.Json.Int (v - v0)) else None)
+      (Obs.Metrics.counters ())
+  in
+  if counter_deltas <> [] then
+    Obs.Results.add_section_metrics t.section
+      [ ("counters", Obs.Json.Obj counter_deltas) ];
+  Obs.Results.add_section_metrics t.section
+    [
+      ( "gc",
+        Obs.Gc_stats.to_json (Obs.Gc_stats.delta t.gc0 (Obs.Gc_stats.sample ())) );
+    ];
+  if not (Table.is_empty t.table) then Table.print t.table
+
+let doc_json () = Obs.Results.to_json doc
 
 let write_json ~path =
   (try Obs.Results.write doc ~path

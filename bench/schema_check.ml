@@ -1,18 +1,37 @@
 (* Validate a bench results document against the Obs.Results schema.
 
      dune exec bench/schema_check.exe -- bench_smoke.json
+     dune exec bench/schema_check.exe -- --expect-no-work E4 bench_smoke.json
 
    Exits non-zero (with a diagnostic) on parse or schema errors, so the
-   @smoke alias fails loudly when the emitter regresses. *)
+   @smoke alias fails loudly when the emitter regresses.
+
+   --expect-no-work SECTION (repeatable) additionally asserts that the
+   named section's metrics carry no counter deltas — the guard that the
+   per-section Metrics scoping in bench/report.ml really is per-section:
+   a cumulative implementation would leak earlier sections' simulator and
+   solver counters into a pure-math section like E4. *)
 
 let () =
-  let path =
-    match Sys.argv with
-    | [| _; path |] -> path
-    | _ ->
-        Fmt.epr "usage: schema_check.exe FILE.json@.";
-        exit 2
+  let expect_no_work = ref [] and path = ref None in
+  let usage () =
+    Fmt.epr "usage: schema_check.exe [--expect-no-work SECTION] FILE.json@.";
+    exit 2
   in
+  let rec parse = function
+    | [] -> ()
+    | "--expect-no-work" :: id :: rest ->
+        expect_no_work := String.uppercase_ascii id :: !expect_no_work;
+        parse rest
+    | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
+        path := Some arg;
+        parse rest
+    | arg :: _ ->
+        Fmt.epr "unknown argument %s@." arg;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path = match !path with Some p -> p | None -> usage () in
   let contents =
     let ic = open_in_bin path in
     Fun.protect
@@ -31,8 +50,35 @@ let () =
       | Ok () ->
           let sections =
             match Obs.Json.member "experiments" json with
-            | Some (Obs.Json.List l) -> List.length l
-            | _ -> 0
+            | Some (Obs.Json.List l) -> l
+            | _ -> []
           in
+          let section_id s =
+            match Obs.Json.member "id" s with
+            | Some (Obs.Json.String id) -> String.uppercase_ascii id
+            | _ -> ""
+          in
+          List.iter
+            (fun id ->
+              match List.find_opt (fun s -> section_id s = id) sections with
+              | None ->
+                  Fmt.epr "%s: --expect-no-work %s: no such section@." path id;
+                  exit 1
+              | Some s -> (
+                  let counters =
+                    match Obs.Json.member "metrics" s with
+                    | Some m -> Obs.Json.member "counters" m
+                    | None -> None
+                  in
+                  match counters with
+                  | None | Some (Obs.Json.Obj []) -> ()
+                  | Some c ->
+                      Fmt.epr
+                        "%s: section %s expected no counter deltas but has %a — \
+                         per-section metric scoping leaked earlier work@."
+                        path id Obs.Json.pp c;
+                      exit 1))
+            !expect_no_work;
           Fmt.pr "%s: ok (schema v%d, %d experiment sections)@." path
-            Obs.Results.schema_version sections)
+            Obs.Results.schema_version
+            (List.length sections))

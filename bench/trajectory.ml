@@ -1,0 +1,71 @@
+(* Render the repo's bench trajectory as per-section time-series tables.
+
+     dune exec bench/trajectory.exe                    # scan ./BENCH_*.json
+     dune exec bench/trajectory.exe -- --dir /root/repo --section E5
+     dune exec bench/trajectory.exe -- --markdown A.json B.json
+
+   One column per trajectory point (committed BENCH_*.json documents, or
+   explicit FILES in the order given), one row per series: measured row
+   values, numeric section metrics, and the derived states/sec. Exits 1
+   when any point is unreadable or fails schema validation. *)
+
+let () =
+  let dir = ref "." and section = ref None and markdown = ref false in
+  let files = ref [] in
+  let usage () =
+    Fmt.epr
+      "usage: trajectory.exe [--dir D] [--section ID] [--markdown] \
+       [FILES...]@.";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--dir" :: d :: rest ->
+        dir := d;
+        parse rest
+    | "--section" :: id :: rest ->
+        section := Some id;
+        parse rest
+    | "--markdown" :: rest ->
+        markdown := true;
+        parse rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+        files := arg :: !files;
+        parse rest
+    | arg :: _ ->
+        Fmt.epr "unknown argument %s@." arg;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let points =
+    match List.rev !files with
+    | [] -> Obs.Trajectory.scan ~dir:!dir
+    | files ->
+        List.fold_left
+          (fun acc path ->
+            match acc with
+            | Error _ as e -> e
+            | Ok pts -> (
+                match Obs.Trajectory.load path with
+                | Ok p -> Ok (p :: pts)
+                | Error _ as e -> e))
+          (Ok []) files
+        |> Result.map List.rev
+  in
+  match points with
+  | Error e ->
+      Fmt.epr "%s@." e;
+      exit 1
+  | Ok [] ->
+      Fmt.epr "no trajectory points found (no BENCH_*.json in %s)@." !dir;
+      exit 1
+  | Ok points ->
+      let tables = Obs.Trajectory.tables ?section:!section points in
+      if tables = [] then begin
+        Fmt.epr "no matching section%a@."
+          (Fmt.option (fun ppf s -> Fmt.pf ppf " %s" s))
+          !section;
+        exit 1
+      end;
+      let pp = if !markdown then Obs.Trajectory.pp_markdown else Obs.Trajectory.pp_text in
+      List.iter (fun t -> Fmt.pr "@[<v>%a@]@." pp t) tables

@@ -8,6 +8,7 @@
      blunting lin-sweep --object abd --trials 50
      blunting trace --registers abd -o weakener.trace.json
      blunting metrics --workload mc --json
+     blunting bench-diff BASELINE.json CURRENT.json
 
    Every subcommand accepts --verbosity LEVEL (quiet|app|error|warning|
    info|debug) to surface the structured logs of the blunting.sim,
@@ -63,7 +64,18 @@ let solve_cmd =
   let abd_c_arg =
     Arg.(value & flag & info [ "abd-c" ] ~doc:"Model register C as ABD too (validates the atomic-C reduction).")
   in
-  let run () k atomic servers abd_c =
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Emit live solver progress to stderr (memoized states, hit rate, \
+             states/sec) every 50k states explored.")
+  in
+  let run () k atomic servers abd_c progress =
+    if progress then
+      Model.Weakener_abd.set_progress
+        (Some (fun p -> Fmt.epr "  [mdp] %a@." Mdp.Solver.pp_progress p));
     if atomic then begin
       let v = Model.Weakener_atomic.bad_probability () in
       Fmt.pr "weakener with atomic registers:@.";
@@ -86,7 +98,9 @@ let solve_cmd =
   in
   let doc = "Solve the exact adversary-vs-coin game of the weakener program." in
   Cmd.v (Cmd.info "solve" ~doc)
-    Term.(const run $ verbosity_term $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg)
+    Term.(
+      const run $ verbosity_term $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg
+      $ progress_arg)
 
 (* ---- figure1 -------------------------------------------------------- *)
 
@@ -358,6 +372,66 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(const run $ verbosity_term $ workload_arg $ k_arg $ trials_arg $ json_arg)
 
+(* ---- bench-diff ----------------------------------------------------- *)
+
+let bench_diff_cmd =
+  let baseline_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline results document (BENCH_*.json).")
+  in
+  let current_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current results document to compare.")
+  in
+  let paper_tol_arg =
+    Arg.(
+      value
+      & opt float Obs.Diff.default_config.paper_tol
+      & info [ "paper-tol" ] ~docv:"F"
+          ~doc:"Absolute tolerance for paper-vs-measured rows (hard failure).")
+  in
+  let value_rtol_arg =
+    Arg.(
+      value
+      & opt float Obs.Diff.default_config.value_rtol
+      & info [ "value-rtol" ] ~docv:"F"
+          ~doc:"Relative tolerance for deterministic measured values (hard failure).")
+  in
+  let time_rtol_arg =
+    Arg.(
+      value
+      & opt float Obs.Diff.default_config.time_rtol
+      & info [ "time-rtol" ] ~docv:"F"
+          ~doc:"Relative tolerance for timing/resource values (warning only).")
+  in
+  let no_spans_arg =
+    Arg.(value & flag & info [ "no-spans" ] ~doc:"Skip span-duration comparison.")
+  in
+  let run () baseline current paper_tol value_rtol time_rtol no_spans =
+    let config =
+      { Obs.Diff.paper_tol; value_rtol; time_rtol; compare_spans = not no_spans }
+    in
+    match Obs.Diff.run_files ~config ~baseline ~current Fmt.stdout with
+    | Ok rc -> exit rc
+    | Error e ->
+        Fmt.epr "%s@." e;
+        exit 2
+  in
+  let doc =
+    "Diff two bench results documents: paper-vs-measured drift in CURRENT is \
+     a hard failure, CURRENT-vs-BASELINE drift fails hard on deterministic \
+     quantities and warns on timing/GC. Exits 1 on hard failures, 2 on \
+     unreadable or schema-invalid input."
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc)
+    Term.(
+      const run $ verbosity_term $ baseline_arg $ current_arg $ paper_tol_arg
+      $ value_rtol_arg $ time_rtol_arg $ no_spans_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -378,4 +452,5 @@ let () =
             ghw_cmd;
             trace_cmd;
             metrics_cmd;
+            bench_diff_cmd;
           ]))

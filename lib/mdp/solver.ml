@@ -46,6 +46,16 @@ let pp_stats ppf s =
     (100.0 *. hit_rate s)
     s.max_depth
 
+type progress = { stats : stats; elapsed_s : float; states_per_sec : float }
+
+let pp_progress ppf p =
+  Fmt.pf ppf "%d states, %.1f%% hit rate, depth %d, %.1fs elapsed, %.0f states/s"
+    p.stats.states
+    (100.0 *. hit_rate p.stats)
+    p.stats.max_depth p.elapsed_s p.states_per_sec
+
+let default_progress_interval = 50_000
+
 module Make (G : GAME) = struct
   type mark = In_progress | Value of float
 
@@ -63,6 +73,37 @@ module Make (G : GAME) = struct
   let misses = ref 0
   let max_depth = ref 0
 
+  (* Progress telemetry: long solves (minutes at k >= 3) otherwise give no
+     output until they return. The hook fires from inside the recursion,
+     every [interval] newly memoized states — so never after [value] has
+     returned — alongside an info log on the blunting.mdp source. *)
+  let progress_hook : (progress -> unit) option ref = ref None
+  let progress_interval = ref default_progress_interval
+  let solve_start = ref (Obs.Span.now_us ())
+
+  let set_progress ?(interval_states = default_progress_interval) hook =
+    progress_interval := max 1 interval_states;
+    progress_hook := hook
+
+  let stats () =
+    { states = H.length memo; memo_hits = !hits; memo_misses = !misses;
+      max_depth = !max_depth }
+
+  let progress_tick () =
+    if !misses mod !progress_interval = 0 then begin
+      let elapsed_s = (Obs.Span.now_us () -. !solve_start) /. 1e6 in
+      let p =
+        {
+          stats = stats ();
+          elapsed_s;
+          states_per_sec =
+            (if elapsed_s > 0.0 then float_of_int !misses /. elapsed_s else 0.0);
+        }
+      in
+      Log.info (fun f -> f "progress: %a" pp_progress p);
+      match !progress_hook with None -> () | Some hook -> hook p
+    end
+
   let rec value_at depth s =
     if depth > !max_depth then begin
       max_depth := depth;
@@ -77,6 +118,7 @@ module Make (G : GAME) = struct
     | None ->
         incr misses;
         Obs.Metrics.incr M.memo_misses;
+        progress_tick ();
         H.replace memo s In_progress;
         let v =
           match G.moves s with
@@ -96,10 +138,12 @@ module Make (G : GAME) = struct
         List.fold_left (fun acc (p, s) -> acc +. (p *. value_at (depth + 1) s)) 0.0 dist
 
   let value s =
+    solve_start := Obs.Span.now_us ();
     let v, _ = Obs.Span.time ~observe:M.solve_seconds "mdp.value" (fun () -> value_at 0 s) in
     v
 
   let best_move s =
+    solve_start := Obs.Span.now_us ();
     match G.moves s with
     | [] -> None
     | ms ->
@@ -120,10 +164,6 @@ module Make (G : GAME) = struct
         Some (snd best)
 
   let explored () = H.length memo
-
-  let stats () =
-    { states = H.length memo; memo_hits = !hits; memo_misses = !misses;
-      max_depth = !max_depth }
 
   let reset () =
     H.reset memo;

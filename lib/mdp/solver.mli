@@ -53,6 +53,17 @@ val hit_rate : stats -> float
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** A progress report from inside a running solve: the instance's stats so
+    far, wall time since the root [value]/[best_move] call, and the
+    evaluation rate (memo misses per second). *)
+type progress = { stats : stats; elapsed_s : float; states_per_sec : float }
+
+val pp_progress : Format.formatter -> progress -> unit
+
+(** How often progress fires when [set_progress] does not say: every 50 000
+    memoized states (about twice during the 106 k-state E2 solve). *)
+val default_progress_interval : int
+
 (** The solver's [Logs] source, [blunting.mdp]; [best_move] logs candidate
     values and the chosen move (via the game's [pp_move]) at debug. *)
 val log_src : Logs.src
@@ -69,6 +80,14 @@ module Make (G : GAME) : sig
 
   (** [stats ()] is this instance's work since the last [reset]. *)
   val stats : unit -> stats
+
+  (** [set_progress ?interval_states hook] installs (or, with [None],
+      removes) a progress hook for this instance. It fires synchronously
+      from inside the recursion every [interval_states] newly memoized
+      states — long solves report live, and the hook can never fire after
+      [value] returns. Each tick is also logged at info level on the
+      [blunting.mdp] source, hook or not. *)
+  val set_progress : ?interval_states:int -> (progress -> unit) option -> unit
 
   (** [reset ()] clears the memo table and zeroes [stats]. *)
   val reset : unit -> unit

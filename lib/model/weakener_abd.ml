@@ -344,3 +344,4 @@ let best_move = S.best_move
 let explored_states () = S.explored ()
 let reset () = S.reset ()
 let solver_stats () = S.stats ()
+let set_progress = S.set_progress

@@ -62,3 +62,9 @@ val reset : unit -> unit
     (states, memo hits/misses, max depth) since the last [reset] — the
     cost side of the cost-vs-[k] trade-off reported by the bench harness. *)
 val solver_stats : unit -> Mdp.Solver.stats
+
+(** [set_progress ?interval_states hook] installs a live progress hook on
+    the underlying solver (see {!Mdp.Solver.Make.set_progress}) — the
+    multi-minute solves at [k >= 3] otherwise emit nothing until done. *)
+val set_progress :
+  ?interval_states:int -> (Mdp.Solver.progress -> unit) option -> unit

@@ -154,3 +154,5 @@ let init ~k : Game.state =
 let bad_probability ~k = S.value (init ~k)
 let explored_states () = S.explored ()
 let reset () = S.reset ()
+let solver_stats () = S.stats ()
+let set_progress = S.set_progress

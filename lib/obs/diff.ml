@@ -1,0 +1,416 @@
+type severity = Info | Warn | Fail
+
+let severity_label = function Info -> "info" | Warn -> "WARN" | Fail -> "FAIL"
+let severity_rank = function Fail -> 0 | Warn -> 1 | Info -> 2
+
+type finding = {
+  severity : severity;
+  section : string option;
+  subject : string;
+  detail : string;
+}
+
+type config = {
+  paper_tol : float;
+  value_rtol : float;
+  time_rtol : float;
+  compare_spans : bool;
+}
+
+let default_config =
+  {
+    (* paper-vs-measured agreement is exact on this repo's deterministic
+       experiments; 1e-6 absorbs only float printing noise *)
+    paper_tol = 1e-6;
+    value_rtol = 1e-9;
+    (* wall-clock and GC figures legitimately move with machine load *)
+    time_rtol = 0.5;
+    compare_spans = true;
+  }
+
+type report = {
+  findings : finding list;
+  sections_compared : int;
+  rows_compared : int;
+  metrics_compared : int;
+  spans_compared : int;
+}
+
+let failures r = List.filter (fun f -> f.severity = Fail) r.findings
+let exit_code r = if failures r = [] then 0 else 1
+
+(* ---- helpers --------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+(* Resource and timing figures drift with the machine, not the algorithm:
+   flag them softly and generously. Everything else in a results document
+   is deterministic (seeded RNGs, exact game values) and diffs tightly. *)
+let is_soft_key k =
+  let k = String.lowercase_ascii k in
+  let has needle =
+    let nl = String.length needle and kl = String.length k in
+    let rec go i = i + nl <= kl && (String.sub k i nl = needle || go (i + 1)) in
+    go 0
+  in
+  has "second" || has "time" || has "latency" || has "duration" || has "gc."
+  || has "_ns" || has "ns)" || has "words" || has "heap" || has "collection"
+  || has "hit_rate" || has "states/s"
+
+let rel_drift ~from ~to_ =
+  if from = to_ then 0.0
+  else abs_float (to_ -. from) /. Float.max (abs_float from) 1e-12
+
+let pp_num ppf v =
+  if Float.is_integer v && abs_float v < 1e15 then Fmt.pf ppf "%.0f" v
+  else Fmt.pf ppf "%.6g" v
+
+let number j = Json.to_number_opt j
+
+let sections_of doc =
+  match Json.member "experiments" doc with
+  | Some (Json.List l) ->
+      List.filter_map
+        (fun s ->
+          match Option.bind (Json.member "id" s) Json.to_string_opt with
+          | Some id -> Some (id, s)
+          | None -> None)
+        l
+  | _ -> []
+
+let rows_of section =
+  match Json.member "rows" section with
+  | Some (Json.List l) ->
+      List.filter_map
+        (fun r ->
+          match Option.bind (Json.member "quantity" r) Json.to_string_opt with
+          | Some q -> Some (q, r)
+          | None -> None)
+        l
+  | _ -> []
+
+(* Section metrics, flattened one level so nested "gc"/"counters" objects
+   compare per leaf ("gc.minor_words", "counters.sim.steps", ...). *)
+let metrics_of section =
+  match Json.member "metrics" section with
+  | Some (Json.Obj kvs) ->
+      List.concat_map
+        (fun (k, v) ->
+          match v with
+          | Json.Obj sub ->
+              List.filter_map
+                (fun (k', v') ->
+                  Option.map (fun n -> (k ^ "." ^ k', n)) (number v'))
+                sub
+          | v -> (
+              match number v with Some n -> [ (k, n) ] | None -> []))
+        kvs
+  | _ -> []
+
+(* Spans aggregated by name: (count, total seconds). Individual spans are
+   not comparable across runs (names repeat per solve), totals are. *)
+let spans_of doc =
+  match Json.member "spans" doc with
+  | Some (Json.List l) ->
+      let tbl = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun s ->
+          match
+            ( Option.bind (Json.member "name" s) Json.to_string_opt,
+              Option.bind (Json.member "dur_us" s) number )
+          with
+          | Some name, Some dur ->
+              (match Hashtbl.find_opt tbl name with
+              | None ->
+                  order := name :: !order;
+                  Hashtbl.replace tbl name (1, dur /. 1e6)
+              | Some (n, total) -> Hashtbl.replace tbl name (n + 1, total +. (dur /. 1e6)))
+          | _ -> ())
+        l;
+      List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+  | _ -> []
+
+(* ---- the comparison -------------------------------------------------- *)
+
+let paper_findings cfg ~section_id rows =
+  List.filter_map
+    (fun (quantity, r) ->
+      match
+        ( Option.bind (Json.member "paper_value" r) number,
+          Option.bind (Json.member "measured_value" r) number )
+      with
+      | Some pv, Some mv
+        when Float.is_finite pv && Float.is_finite mv
+             && abs_float (mv -. pv) > cfg.paper_tol ->
+          Some
+            {
+              severity = Fail;
+              section = Some section_id;
+              subject = quantity;
+              detail =
+                Fmt.str "measured %a drifted from paper %a (|Δ| = %.3g > tol %.3g)"
+                  pp_num mv pp_num pv
+                  (abs_float (mv -. pv))
+                  cfg.paper_tol;
+            }
+      | _ -> None)
+    rows
+
+let drift_finding cfg ~section ~subject ~from ~to_ =
+  let soft = is_soft_key subject in
+  let tol = if soft then cfg.time_rtol else cfg.value_rtol in
+  let d = rel_drift ~from ~to_ in
+  if d > tol then
+    Some
+      {
+        severity = (if soft then Warn else Fail);
+        section;
+        subject;
+        detail =
+          Fmt.str "%a -> %a (drift %.2f%% > %s tolerance %.2f%%)" pp_num from
+            pp_num to_ (100.0 *. d)
+            (if soft then "soft" else "hard")
+            (100.0 *. tol);
+      }
+  else None
+
+let compare_rows cfg ~section_id base cur =
+  let compared = ref 0 in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  List.iter
+    (fun (quantity, brow) ->
+      match List.assoc_opt quantity cur with
+      | None ->
+          emit
+            {
+              severity = Warn;
+              section = Some section_id;
+              subject = quantity;
+              detail = "row present in baseline but missing in current run";
+            }
+      | Some crow -> (
+          incr compared;
+          match
+            ( Option.bind (Json.member "measured_value" brow) number,
+              Option.bind (Json.member "measured_value" crow) number )
+          with
+          | Some from, Some to_ when Float.is_finite from && Float.is_finite to_
+            -> (
+              match
+                drift_finding cfg ~section:(Some section_id) ~subject:quantity
+                  ~from ~to_
+              with
+              | Some f -> emit f
+              | None -> ())
+          | _ -> ()))
+    base;
+  List.iter
+    (fun (quantity, _) ->
+      if not (List.mem_assoc quantity base) then
+        emit
+          {
+            severity = Info;
+            section = Some section_id;
+            subject = quantity;
+            detail = "new row, absent from baseline";
+          })
+    cur;
+  (!compared, List.rev !findings)
+
+let compare_metrics cfg ~section_id base cur =
+  let compared = ref 0 in
+  let findings =
+    List.filter_map
+      (fun (key, from) ->
+        match List.assoc_opt key cur with
+        | Some to_ when Float.is_finite from && Float.is_finite to_ ->
+            incr compared;
+            drift_finding cfg ~section:(Some section_id) ~subject:("metrics." ^ key)
+              ~from ~to_
+        | _ -> None)
+      base
+  in
+  (!compared, findings)
+
+let compare_spans cfg base cur =
+  let base = spans_of base and cur = spans_of cur in
+  let compared = ref 0 in
+  let findings =
+    List.filter_map
+      (fun (name, (_, from)) ->
+        match List.assoc_opt name cur with
+        | None ->
+            Some
+              {
+                severity = Info;
+                section = None;
+                subject = "span " ^ name;
+                detail = "present in baseline, absent in current run";
+              }
+        | Some (_, to_) ->
+            incr compared;
+            if rel_drift ~from ~to_ > cfg.time_rtol then
+              Some
+                {
+                  severity = Warn;
+                  section = None;
+                  subject = "span " ^ name;
+                  detail =
+                    Fmt.str "total %.3fs -> %.3fs (drift %.0f%% > %.0f%%)" from
+                      to_
+                      (100.0 *. rel_drift ~from ~to_)
+                      (100.0 *. cfg.time_rtol);
+                }
+            else None)
+      base
+  in
+  (!compared, findings)
+
+let schema_note baseline current =
+  let version doc =
+    Option.bind (Json.member "schema_version" doc) Json.to_int_opt
+  in
+  match (version baseline, version current) with
+  | Some a, Some b when a <> b ->
+      [
+        {
+          severity = Info;
+          section = None;
+          subject = "schema_version";
+          detail = Fmt.str "baseline v%d vs current v%d (both accepted)" a b;
+        };
+      ]
+  | _ -> []
+
+let diff ?(config = default_config) ~baseline ~current () =
+  let* () =
+    Result.map_error (fun e -> "baseline: " ^ e) (Results.validate baseline)
+  in
+  let* () =
+    Result.map_error (fun e -> "current: " ^ e) (Results.validate current)
+  in
+  let bsec = sections_of baseline and csec = sections_of current in
+  let findings = ref (schema_note baseline current) in
+  let add fs = findings := !findings @ fs in
+  let sections = ref 0 and rows = ref 0 and metrics = ref 0 in
+  (* the current document's own paper-vs-measured agreement: the hard gate *)
+  List.iter
+    (fun (id, s) -> add (paper_findings config ~section_id:id (rows_of s)))
+    csec;
+  List.iter
+    (fun (id, bs) ->
+      match List.assoc_opt id csec with
+      | None ->
+          add
+            [
+              {
+                severity = Warn;
+                section = Some id;
+                subject = "section";
+                detail = "present in baseline, missing in current run (skipped)";
+              };
+            ]
+      | Some cs ->
+          incr sections;
+          let n, fs = compare_rows config ~section_id:id (rows_of bs) (rows_of cs) in
+          rows := !rows + n;
+          add fs;
+          let n, fs =
+            compare_metrics config ~section_id:id (metrics_of bs) (metrics_of cs)
+          in
+          metrics := !metrics + n;
+          add fs)
+    bsec;
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id bsec) then
+        add
+          [
+            {
+              severity = Info;
+              section = Some id;
+              subject = "section";
+              detail = "new section, absent from baseline";
+            };
+          ])
+    csec;
+  let spans_compared, span_findings =
+    if config.compare_spans then compare_spans config baseline current else (0, [])
+  in
+  add span_findings;
+  Ok
+    {
+      findings =
+        List.stable_sort
+          (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity))
+          !findings;
+      sections_compared = !sections;
+      rows_compared = !rows;
+      metrics_compared = !metrics;
+      spans_compared;
+    }
+
+(* ---- rendering ------------------------------------------------------- *)
+
+let pp_report ppf r =
+  let count sev = List.length (List.filter (fun f -> f.severity = sev) r.findings) in
+  Fmt.pf ppf
+    "compared %d sections (%d rows, %d metrics, %d span groups): %d fail, %d \
+     warn, %d info@,"
+    r.sections_compared r.rows_compared r.metrics_compared r.spans_compared
+    (count Fail) (count Warn) (count Info);
+  if r.findings <> [] then begin
+    let w_sev = 4 in
+    let w_sec =
+      List.fold_left
+        (fun acc f ->
+          max acc (String.length (Option.value ~default:"-" f.section)))
+        3 r.findings
+    in
+    let w_sub =
+      List.fold_left (fun acc f -> max acc (String.length f.subject)) 7 r.findings
+    in
+    let pad width s = s ^ String.make (max 0 (width - String.length s)) ' ' in
+    Fmt.pf ppf "%s  %s  %s  %s@," (pad w_sev "sev") (pad w_sec "sec")
+      (pad w_sub "subject") "detail";
+    Fmt.pf ppf "%s  %s  %s  %s@,"
+      (String.make w_sev '-') (String.make w_sec '-') (String.make w_sub '-')
+      "------";
+    List.iter
+      (fun f ->
+        Fmt.pf ppf "%s  %s  %s  %s@,"
+          (pad w_sev (severity_label f.severity))
+          (pad w_sec (Option.value ~default:"-" f.section))
+          (pad w_sub f.subject) f.detail)
+      r.findings
+  end;
+  if failures r = [] then Fmt.pf ppf "OK — no hard regressions"
+  else Fmt.pf ppf "REGRESSION — %d hard failure(s)" (List.length (failures r))
+
+(* ---- file plumbing --------------------------------------------------- *)
+
+let load_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents ->
+      Result.map_error (fun e -> path ^ ": " ^ e) (Json.of_string contents)
+
+let run_files ?config ~baseline ~current ppf =
+  match load_file baseline with
+  | Error e -> Error e
+  | Ok b -> (
+      match load_file current with
+      | Error e -> Error e
+      | Ok c -> (
+          match diff ?config ~baseline:b ~current:c () with
+          | Error e -> Error e
+          | Ok report ->
+              Fmt.pf ppf "%s -> %s@.@[<v>%a@]@." baseline current pp_report report;
+              Ok (exit_code report)))

@@ -1,0 +1,72 @@
+(** Regression detection between two {!Results} documents.
+
+    The repo's quantitative ground truth is its [BENCH_*.json] trajectory;
+    this module is the consume side: it compares a current results document
+    against a committed baseline and reports drift as typed findings.
+
+    Two kinds of comparison run in one pass:
+    - {b paper drift} (hard): within the {e current} document, every row
+      carrying both [paper_value] and [measured_value] must agree to an
+      absolute tolerance. All experiments here are deterministic (exact
+      game values, seeded Monte-Carlo), so any drift is a real regression.
+    - {b run-vs-baseline drift}: measured row values, per-section metrics
+      (solver states, memo hit rate, GC profile, counter deltas) and
+      span-duration totals compare under relative thresholds. Timing- and
+      resource-shaped keys (seconds, latency, gc, heap, ...) get the
+      generous [time_rtol] and at most a [Warn]; everything else is
+      deterministic and fails hard beyond [value_rtol].
+
+    Missing sections or rows degrade to warnings (subset runs via [--only]
+    are routine); new sections and rows are informational. Baselines may be
+    schema v1 while the current run is v2 — both validate, and the version
+    skew is reported as an info finding. *)
+
+type severity = Info | Warn | Fail
+
+type finding = {
+  severity : severity;
+  section : string option;  (** experiment id, [None] for document-level *)
+  subject : string;  (** row quantity, metric key, span name, ... *)
+  detail : string;
+}
+
+type config = {
+  paper_tol : float;  (** absolute, paper-vs-measured (default 1e-6) *)
+  value_rtol : float;  (** relative, deterministic values (default 1e-9) *)
+  time_rtol : float;  (** relative, timing/resource values (default 0.5) *)
+  compare_spans : bool;  (** compare per-name span-duration totals *)
+}
+
+val default_config : config
+
+type report = {
+  findings : finding list;  (** sorted [Fail], [Warn], [Info] *)
+  sections_compared : int;
+  rows_compared : int;
+  metrics_compared : int;
+  spans_compared : int;
+}
+
+(** [diff ?config ~baseline ~current ()] validates both documents
+    ({!Results.validate}, so v1 and v2 are accepted) and compares them.
+    [Error] means a document is unloadable or fails validation — distinct
+    from a clean report with [Fail] findings. *)
+val diff : ?config:config -> baseline:Json.t -> current:Json.t -> unit -> (report, string) result
+
+val failures : report -> finding list
+
+(** [exit_code r] is 0 when no [Fail] finding survived, 1 otherwise. *)
+val exit_code : report -> int
+
+(** [pp_report] renders the summary line, the findings table, and the
+    OK/REGRESSION verdict. *)
+val pp_report : Format.formatter -> report -> unit
+
+(** [load_file path] reads and parses one JSON document. *)
+val load_file : string -> (Json.t, string) result
+
+(** [run_files ?config ~baseline ~current ppf] loads both paths, diffs,
+    prints the report to [ppf] and returns the intended process exit code;
+    [Error] for load/validation problems (callers conventionally exit 2). *)
+val run_files :
+  ?config:config -> baseline:string -> current:string -> Format.formatter -> (int, string) result

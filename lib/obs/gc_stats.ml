@@ -1,0 +1,79 @@
+type sample = Gc.stat
+
+let sample () = Gc.quick_stat ()
+
+type delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  top_heap_words : int;
+}
+
+let delta (before : sample) (after : sample) =
+  {
+    minor_words = after.Gc.minor_words -. before.Gc.minor_words;
+    promoted_words = after.Gc.promoted_words -. before.Gc.promoted_words;
+    major_words = after.Gc.major_words -. before.Gc.major_words;
+    minor_collections = after.Gc.minor_collections - before.Gc.minor_collections;
+    major_collections = after.Gc.major_collections - before.Gc.major_collections;
+    compactions = after.Gc.compactions - before.Gc.compactions;
+    top_heap_words = after.Gc.top_heap_words;
+  }
+
+let measure f =
+  let before = sample () in
+  let v = f () in
+  (v, delta before (sample ()))
+
+let allocated_words d = d.minor_words +. d.major_words -. d.promoted_words
+
+let to_json d =
+  Json.Obj
+    [
+      ("minor_words", Json.Float d.minor_words);
+      ("promoted_words", Json.Float d.promoted_words);
+      ("major_words", Json.Float d.major_words);
+      ("allocated_words", Json.Float (allocated_words d));
+      ("minor_collections", Json.Int d.minor_collections);
+      ("major_collections", Json.Int d.major_collections);
+      ("compactions", Json.Int d.compactions);
+      ("top_heap_words", Json.Int d.top_heap_words);
+    ]
+
+let pp ppf d =
+  Fmt.pf ppf
+    "%.0f minor + %.0f major words (%.0f promoted), %d minor / %d major \
+     collections, heap high-water %d words"
+    d.minor_words d.major_words d.promoted_words d.minor_collections
+    d.major_collections d.top_heap_words
+
+(* Gauges mirroring the absolute [Gc.quick_stat] of this process, refreshed
+   on demand so a metrics snapshot always carries a current GC profile. *)
+module G = struct
+  let minor_words = Metrics.gauge ~help:"cumulative minor words" "gc.minor_words"
+  let major_words = Metrics.gauge ~help:"cumulative major words" "gc.major_words"
+
+  let promoted_words =
+    Metrics.gauge ~help:"cumulative promoted words" "gc.promoted_words"
+
+  let minor_collections =
+    Metrics.gauge ~help:"minor collections" "gc.minor_collections"
+
+  let major_collections =
+    Metrics.gauge ~help:"major collections" "gc.major_collections"
+
+  let top_heap_words =
+    Metrics.gauge ~help:"major heap high-water (words)" "gc.top_heap_words"
+end
+
+let publish_gauges () =
+  let s = sample () in
+  Metrics.set_gauge G.minor_words s.Gc.minor_words;
+  Metrics.set_gauge G.major_words s.Gc.major_words;
+  Metrics.set_gauge G.promoted_words s.Gc.promoted_words;
+  Metrics.set_gauge G.minor_collections (float_of_int s.Gc.minor_collections);
+  Metrics.set_gauge G.major_collections (float_of_int s.Gc.major_collections);
+  Metrics.set_gauge G.top_heap_words (float_of_int s.Gc.top_heap_words)

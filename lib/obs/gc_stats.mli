@@ -1,0 +1,46 @@
+(** GC and allocation profiling for spans and bench sections.
+
+    Wall-clock alone cannot tell an algorithmic regression from an
+    allocation regression; this module captures [Gc.quick_stat] deltas
+    around a piece of work so every {!Span} and every bench section carries
+    its resource profile (minor/major words, promotions, collection counts,
+    heap high-water) into the results document, where {!Diff} can compare
+    it across runs. *)
+
+(** A [Gc.quick_stat] reading. *)
+type sample = Gc.stat
+
+val sample : unit -> sample
+
+(** The GC work between two samples. All word counts are deltas except
+    [top_heap_words], which is the process high-water mark at the later
+    sample (a maximum cannot be meaningfully differenced). *)
+type delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  top_heap_words : int;
+}
+
+(** [delta before after] — fields are [after - before] (see [top_heap_words]
+    above). *)
+val delta : sample -> sample -> delta
+
+(** [measure f] runs [f ()] and returns its result with the GC delta. *)
+val measure : (unit -> 'a) -> 'a * delta
+
+(** [allocated_words d] is total fresh allocation:
+    [minor + major - promoted] (promoted words would otherwise be counted
+    in both generations). *)
+val allocated_words : delta -> float
+
+val to_json : delta -> Json.t
+val pp : Format.formatter -> delta -> unit
+
+(** [publish_gauges ()] refreshes the [gc.*] gauges in {!Metrics} from the
+    current [Gc.quick_stat], so registry snapshots include the process GC
+    profile. *)
+val publish_gauges : unit -> unit

@@ -102,8 +102,38 @@ type histogram_summary = {
   sum : float;
   min : float;
   max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
   buckets : (float * int) list;
 }
+
+(* Prometheus-style interpolation: walk the per-bucket counts to the bucket
+   holding rank [q * count], then interpolate linearly inside it. Bucket
+   edges are the configured bounds, tightened by the observed min/max (the
+   first bucket has no lower bound, the overflow bucket no upper one). *)
+let percentile (h : hist) q =
+  if h.count = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int h.count in
+    let nbuckets = Array.length h.counts in
+    let rec find i below =
+      let upto = below + h.counts.(i) in
+      if float_of_int upto >= target || i = nbuckets - 1 then (i, below, upto)
+      else find (i + 1) upto
+    in
+    let i, below, upto = find 0 0 in
+    let lo = if i = 0 then h.vmin else Float.max h.bounds.(i - 1) h.vmin in
+    let hi = if i < Array.length h.bounds then Float.min h.bounds.(i) h.vmax else h.vmax in
+    let v =
+      if upto = below || hi <= lo then hi
+      else
+        lo
+        +. (hi -. lo)
+           *. ((target -. float_of_int below) /. float_of_int (upto - below))
+    in
+    Float.min (Float.max v h.vmin) h.vmax
+  end
 
 let histogram_summary h =
   (* only non-empty buckets are reported: (upper bound, cumulative count)
@@ -125,6 +155,9 @@ let histogram_summary h =
     sum = h.sum;
     min = h.vmin;
     max = h.vmax;
+    p50 = percentile h 0.50;
+    p90 = percentile h 0.90;
+    p99 = percentile h 0.99;
     buckets = List.rev !buckets;
   }
 
@@ -136,6 +169,11 @@ let find_counter name =
 let sorted_entries () =
   Hashtbl.fold (fun name e acc -> (name, e) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters () =
+  List.filter_map
+    (function name, { metric = Counter c; _ } -> Some (name, !c) | _ -> None)
+    (sorted_entries ())
 
 let snapshot () =
   let entries = sorted_entries () in
@@ -155,14 +193,18 @@ let snapshot () =
       (function
         | name, { metric = Hist h; _ } ->
             let s = histogram_summary h in
+            let num v = if s.count = 0 then Json.Null else Json.Float v in
             Some
               ( name,
                 Json.Obj
                   [
                     ("count", Json.Int s.count);
                     ("sum", Json.Float s.sum);
-                    ("min", if s.count = 0 then Json.Null else Json.Float s.min);
-                    ("max", if s.count = 0 then Json.Null else Json.Float s.max);
+                    ("min", num s.min);
+                    ("max", num s.max);
+                    ("p50", num s.p50);
+                    ("p90", num s.p90);
+                    ("p99", num s.p99);
                     ( "buckets",
                       Json.List
                         (List.map
@@ -215,8 +257,10 @@ let pp ppf () =
       | Hist h ->
           if h.count = 0 then Fmt.pf ppf "%s  (no observations)@," (pad name)
           else
-            Fmt.pf ppf "%s  count=%d sum=%g min=%g max=%g mean=%g@," (pad name)
-              h.count h.sum h.vmin h.vmax
-              (h.sum /. float_of_int h.count))
+            Fmt.pf ppf
+              "%s  count=%d sum=%g min=%g max=%g mean=%g p50=%g p90=%g p99=%g@,"
+              (pad name) h.count h.sum h.vmin h.vmax
+              (h.sum /. float_of_int h.count)
+              (percentile h 0.50) (percentile h 0.90) (percentile h 0.99))
     entries;
   Fmt.pf ppf "@]"

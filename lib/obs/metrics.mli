@@ -52,16 +52,28 @@ type histogram_summary = {
   sum : float;
   min : float;  (** [nan] when empty *)
   max : float;  (** [nan] when empty *)
+  p50 : float;  (** [nan] when empty *)
+  p90 : float;  (** [nan] when empty *)
+  p99 : float;  (** [nan] when empty *)
   buckets : (float * int) list;  (** (upper bound, cumulative count) *)
 }
 
 val histogram_summary : histogram -> histogram_summary
+
+(** [percentile h q] estimates the [q]-quantile ([0 <= q <= 1]) by linear
+    interpolation inside the bucket holding rank [q * count], clamped to
+    the observed min/max; [nan] when the histogram is empty. *)
+val percentile : histogram -> float -> float
 
 (** {1 Registry-wide operations} *)
 
 (** [find_counter name] reads a counter registered elsewhere (e.g. a test
     peeking at [sim.steps]); [None] if absent or not a counter. *)
 val find_counter : string -> int option
+
+(** [counters ()] lists every registered counter with its current value,
+    sorted by name — the basis for per-phase counter deltas. *)
+val counters : unit -> (string * int) list
 
 (** [snapshot ()] is the whole registry as JSON:
     [{"counters": {..}, "gauges": {..}, "histograms": {..}}], keys sorted. *)

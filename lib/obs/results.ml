@@ -1,4 +1,8 @@
-let schema_version = 1
+let schema_version = 2
+
+(* v1 documents (no per-span "gc", no histogram percentiles) remain valid:
+   older BENCH_*.json baselines must stay loadable by the differ. *)
+let accepted_versions = [ 1; 2 ]
 
 type row = {
   quantity : string;
@@ -55,9 +59,11 @@ let span_to_json (s : Span.span) =
       ("name", Json.String s.name);
       ("start_us", Json.Float s.start_us);
       ("dur_us", Json.Float s.dur_us);
+      ("gc", Gc_stats.to_json s.gc);
     ]
 
 let to_json t =
+  Gc_stats.publish_gauges ();
   Json.Obj
     [
       ("schema_version", Json.Int schema_version);
@@ -89,10 +95,14 @@ let check_string obj ~ctx name =
 let check_number_opt obj ~ctx name =
   match field obj name with
   | None -> Ok ()
+  (* [Null] is what the printers emit for non-finite floats (bare nan/inf
+     would not be JSON); an absent measurement is as valid as a missing
+     field. *)
+  | Some Json.Null -> Ok ()
   | Some v -> (
       match Json.to_number_opt v with
       | Some _ -> Ok ()
-      | None -> Error (Printf.sprintf "%s.%s must be a number" ctx name))
+      | None -> Error (Printf.sprintf "%s.%s must be a number or null" ctx name))
 
 let check_obj obj ~ctx name =
   match field obj name with
@@ -153,6 +163,10 @@ let validate_span i s =
       (match Option.bind (field s "dur_us") Json.to_number_opt with
       | Some _ -> Ok ()
       | None -> Error (ctx ^ ".dur_us must be a number"));
+      (* "gc" is new in v2; optional so v1 spans stay valid *)
+      (match field s "gc" with
+      | None | Some (Json.Obj _) -> Ok ()
+      | Some _ -> Error (ctx ^ ".gc must be an object"));
     ]
 
 let validate j =
@@ -163,8 +177,11 @@ let validate j =
           (Option.bind (field j "schema_version") Json.to_int_opt)
       in
       let* () =
-        if v = schema_version then Ok ()
-        else Error (Printf.sprintf "unsupported schema_version %d (want %d)" v schema_version)
+        if List.mem v accepted_versions then Ok ()
+        else
+          Error
+            (Printf.sprintf "unsupported schema_version %d (accept %s)" v
+               (String.concat ", " (List.map string_of_int accepted_versions)))
       in
       let* () = check_string j ~ctx:"document" "generated_by" in
       let* () = check_list j ~ctx:"document" "experiments" validate_experiment in

@@ -11,21 +11,28 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "generated_by": "<tool>",
       "generated_at_unix": <float>,
       "experiments": [
         { "id": "E1", "title": "...",
           "rows": [ { "quantity": "...", "paper": "...", "measured": "...",
-                      "paper_value"?: <number>, "measured_value"?: <number> } ],
+                      "paper_value"?: <number|null>,
+                      "measured_value"?: <number|null> } ],
           "metrics": { ... } } ],
       "metrics": { "counters": {..}, "gauges": {..}, "histograms": {..} },
-      "spans": [ { "name": "...", "start_us": <number>, "dur_us": <number> } ] }
+      "spans": [ { "name": "...", "start_us": <number>, "dur_us": <number>,
+                   "gc"?: { "minor_words": .., "major_words": .., ... } } ] }
     v}
-    [validate] checks exactly the shape above and is shared by the smoke
-    schema checker and the test suite — the schema cannot silently drift
-    from its validator. *)
+    Version history: v2 added the per-span ["gc"] objects ({!Gc_stats}),
+    [p50]/[p90]/[p99] percentile fields inside histogram snapshots, and
+    [null] as the rendering of non-finite numeric fields. [validate]
+    accepts v1 and v2 documents — saved v1 baselines must stay loadable —
+    and is shared by the smoke schema checker, the differ and the test
+    suite, so the schema cannot silently drift from its validator. *)
 
+(** The version written by [to_json]; [validate] also accepts earlier
+    versions (currently 1). *)
 val schema_version : int
 
 type t

@@ -1,14 +1,16 @@
-type span = { name : string; start_us : float; dur_us : float }
+type span = { name : string; start_us : float; dur_us : float; gc : Gc_stats.delta }
 
 let epoch = Unix.gettimeofday ()
 let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
 let log : span list ref = ref []
 
 let time ?observe name f =
+  let gc0 = Gc_stats.sample () in
   let start_us = now_us () in
   let v = f () in
   let dur_us = now_us () -. start_us in
-  log := { name; start_us; dur_us } :: !log;
+  let gc = Gc_stats.delta gc0 (Gc_stats.sample ()) in
+  log := { name; start_us; dur_us; gc } :: !log;
   let seconds = dur_us /. 1e6 in
   (match observe with None -> () | Some h -> Metrics.observe h seconds);
   (v, seconds)

@@ -13,16 +13,18 @@ type span = {
   name : string;
   start_us : float;  (** microseconds since the first span *)
   dur_us : float;
+  gc : Gc_stats.delta;  (** GC work inside the span *)
 }
 
 (** [now_us ()] is the current clock reading in microseconds, relative to
     the module's load time (so Chrome-trace timestamps start near 0). *)
 val now_us : unit -> float
 
-(** [time ?observe name f] runs [f ()], records the span, and returns
-    [(result, seconds)]. When [observe] is given, the duration in seconds
-    is also fed to that histogram. Exceptions propagate; the span is
-    recorded only on normal return. *)
+(** [time ?observe name f] runs [f ()], records the span (wall clock plus
+    the {!Gc_stats} delta across [f]), and returns [(result, seconds)].
+    When [observe] is given, the duration in seconds is also fed to that
+    histogram. Exceptions propagate; the span is recorded only on normal
+    return. *)
 val time : ?observe:Metrics.histogram -> string -> (unit -> 'a) -> 'a * float
 
 (** [spans ()] lists completed spans in completion order. *)

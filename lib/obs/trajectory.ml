@@ -1,0 +1,203 @@
+type point = { label : string; path : string; doc : Json.t }
+
+let of_json ~label ?(path = label) doc =
+  match Results.validate doc with
+  | Ok () -> Ok { label; path; doc }
+  | Error e -> Error (label ^ ": " ^ e)
+
+let label_of_path path =
+  let base = Filename.basename path in
+  let base = Filename.remove_extension base in
+  (* "BENCH_2026-08-06" -> "2026-08-06": the prefix carries no information
+     within a trajectory table *)
+  match String.index_opt base '_' with
+  | Some i when String.length base > i + 1 ->
+      String.sub base (i + 1) (String.length base - i - 1)
+  | _ -> base
+
+let load path =
+  match Diff.load_file path with
+  | Error e -> Error e
+  | Ok doc -> of_json ~label:(label_of_path path) ~path doc
+
+let is_bench_file name =
+  String.length name > 6
+  && String.sub name 0 6 = "BENCH_"
+  && Filename.check_suffix name ".json"
+
+let scan ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error e -> Error e
+  | names ->
+      let files = List.filter is_bench_file (Array.to_list names) in
+      let files = List.sort String.compare files in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | f :: rest -> (
+            match load (Filename.concat dir f) with
+            | Ok p -> go (p :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] files
+
+(* ---- extraction ------------------------------------------------------ *)
+
+let sections_of doc =
+  match Json.member "experiments" doc with
+  | Some (Json.List l) ->
+      List.filter_map
+        (fun s ->
+          match Option.bind (Json.member "id" s) Json.to_string_opt with
+          | Some id -> Some (id, s)
+          | None -> None)
+        l
+  | _ -> []
+
+(* The per-section series: measured row values keyed by quantity, numeric
+   section metrics keyed by name (nested objects flattened one level), and
+   a derived states/sec wherever a states_kN / solve_seconds_kN pair
+   exists. *)
+let series_of_section section =
+  let rows =
+    match Json.member "rows" section with
+    | Some (Json.List l) ->
+        List.filter_map
+          (fun r ->
+            match
+              ( Option.bind (Json.member "quantity" r) Json.to_string_opt,
+                Option.bind (Json.member "measured_value" r) Json.to_number_opt )
+            with
+            | Some q, Some v -> Some (q, v)
+            | _ -> None)
+          l
+    | _ -> []
+  in
+  let metrics =
+    match Json.member "metrics" section with
+    | Some (Json.Obj kvs) ->
+        List.concat_map
+          (fun (k, v) ->
+            match v with
+            | Json.Obj sub ->
+                List.filter_map
+                  (fun (k', v') ->
+                    Option.map (fun n -> (k ^ "." ^ k', n)) (Json.to_number_opt v'))
+                  sub
+            | v -> (
+                match Json.to_number_opt v with
+                | Some n -> [ (k, n) ]
+                | None -> []))
+          kvs
+    | _ -> []
+  in
+  let derived =
+    List.filter_map
+      (fun (k, states) ->
+        let prefix = "states_" in
+        let pl = String.length prefix in
+        if String.length k > pl && String.sub k 0 pl = prefix then
+          let suffix = String.sub k pl (String.length k - pl) in
+          match List.assoc_opt ("solve_seconds_" ^ suffix) metrics with
+          | Some secs when secs > 0.0 ->
+              Some ("states/s_" ^ suffix, states /. secs)
+          | _ -> None
+        else None)
+      metrics
+  in
+  rows @ metrics @ derived
+
+(* ---- tables ---------------------------------------------------------- *)
+
+type table = {
+  section_id : string;
+  title : string;
+  columns : string list;  (** one per trajectory point *)
+  rows : (string * float option list) list;
+}
+
+let dedup_keep_order l =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l
+
+let tables ?section points =
+  let ids =
+    dedup_keep_order
+      (List.concat_map (fun p -> List.map fst (sections_of p.doc)) points)
+  in
+  let ids =
+    match section with
+    | None -> ids
+    | Some id -> List.filter (fun i -> String.uppercase_ascii i = String.uppercase_ascii id) ids
+  in
+  List.map
+    (fun id ->
+      let per_point =
+        List.map
+          (fun p ->
+            match List.assoc_opt id (sections_of p.doc) with
+            | None -> (None, [])
+            | Some s ->
+                ( Option.bind (Json.member "title" s) Json.to_string_opt,
+                  series_of_section s ))
+          points
+      in
+      let title =
+        Option.value ~default:""
+          (List.find_map (fun (t, _) -> t) per_point)
+      in
+      let keys = dedup_keep_order (List.concat_map (fun (_, kv) -> List.map fst kv) per_point) in
+      {
+        section_id = id;
+        title;
+        columns = List.map (fun p -> p.label) points;
+        rows =
+          List.map
+            (fun key ->
+              (key, List.map (fun (_, kv) -> List.assoc_opt key kv) per_point))
+            keys;
+      })
+    ids
+
+let cell = function
+  | None -> "—"
+  | Some v ->
+      if Float.is_integer v && abs_float v < 1e15 then Fmt.str "%.0f" v
+      else Fmt.str "%.6g" v
+
+let pp_text ppf t =
+  let headers = ("quantity / metric" :: t.columns) in
+  let body = List.map (fun (k, vs) -> k :: List.map cell vs) t.rows in
+  let all = headers :: body in
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)))
+    all;
+  let pad i c = c ^ String.make (widths.(i) - String.length c) ' ' in
+  let line row = String.concat "  " (List.mapi pad row) in
+  Fmt.pf ppf "=== %s  %s@,@," t.section_id t.title;
+  Fmt.pf ppf "%s@," (line headers);
+  Fmt.pf ppf "%s@,"
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter (fun row -> Fmt.pf ppf "%s@," (line row)) body
+
+let pp_markdown ppf t =
+  Fmt.pf ppf "### %s — %s@,@," t.section_id t.title;
+  Fmt.pf ppf "| quantity / metric |%s@,"
+    (String.concat "" (List.map (fun c -> " " ^ c ^ " |") t.columns));
+  Fmt.pf ppf "|---|%s@,"
+    (String.concat "" (List.map (fun _ -> "---|") t.columns));
+  List.iter
+    (fun (k, vs) ->
+      Fmt.pf ppf "| %s |%s@," k
+        (String.concat "" (List.map (fun v -> " " ^ cell v ^ " |") vs)))
+    t.rows;
+  Fmt.pf ppf "@,"

@@ -2,6 +2,7 @@ type t = { headers : string list; mutable rows : string list list }
 
 let create headers = { headers; rows = [] }
 let add_row t cells = t.rows <- cells :: t.rows
+let is_empty t = t.headers = [] && t.rows = []
 
 let render t =
   let rows = List.rev t.rows in

@@ -8,6 +8,9 @@ val create : string list -> t
 (** [add_row t cells] appends a row; short rows are padded with blanks. *)
 val add_row : t -> string list -> unit
 
+(** [is_empty t] — no headers and no rows (nothing to print). *)
+val is_empty : t -> bool
+
 (** [render t] lays the table out with aligned columns and a header rule. *)
 val render : t -> string
 

@@ -18,6 +18,7 @@ let () =
       ("model-va", Test_model.va_tests);
       ("adversary", Test_adversary.tests);
       ("obs", Test_obs.tests);
+      ("obs-diff", Test_diff.tests);
       ("programs", Test_programs.tests);
       ("programs-benor", Test_programs.ben_or_tests);
     ]

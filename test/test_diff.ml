@@ -1,0 +1,323 @@
+(* Tests for the regression-diff layer: Obs.Diff severity policy and
+   tolerances, schema-version handling (v1 baselines against v2 runs),
+   Obs.Gc_stats deltas, and Obs.Trajectory table extraction. *)
+
+(* Build a results document programmatically; [rows] are
+   (quantity, paper_value option, measured_value) triples and [metrics]
+   free-form numeric section metrics. *)
+let make_doc ?(id = "E1") ?(title = "test section") ?(rows = []) ?(metrics = [])
+    () =
+  let doc = Obs.Results.create ~generated_by:"test suite" () in
+  let s = Obs.Results.section doc ~id ~title in
+  List.iter
+    (fun (quantity, paper_value, measured_value) ->
+      Obs.Results.row s ?paper_value ~measured_value ~quantity ~paper:"-"
+        ~measured:(Fmt.str "%g" measured_value)
+        ())
+    rows;
+  if metrics <> [] then
+    Obs.Results.add_section_metrics s
+      (List.map (fun (k, v) -> (k, Obs.Json.Float v)) metrics);
+  Obs.Results.to_json doc
+
+let run_diff ?config ~baseline ~current () =
+  match Obs.Diff.diff ?config ~baseline ~current () with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "diff errored: %s" e
+
+let count sev (r : Obs.Diff.report) =
+  List.length (List.filter (fun (f : Obs.Diff.finding) -> f.severity = sev) r.findings)
+
+(* ---- Obs.Diff -------------------------------------------------------- *)
+
+let test_self_diff_clean () =
+  let doc =
+    make_doc
+      ~rows:[ ("exact value", Some 0.5, 0.5); ("trials", None, 60.0) ]
+      ~metrics:[ ("states", 106_000.0); ("solve_seconds_k1", 2.5) ]
+      ()
+  in
+  let r = run_diff ~baseline:doc ~current:doc () in
+  Alcotest.(check int) "no findings" 0 (List.length r.findings);
+  Alcotest.(check int) "exit 0" 0 (Obs.Diff.exit_code r);
+  Alcotest.(check int) "rows compared" 2 r.rows_compared;
+  Alcotest.(check int) "metrics compared" 2 r.metrics_compared;
+  Alcotest.(check int) "sections compared" 1 r.sections_compared
+
+let test_paper_drift_fails () =
+  (* paper drift is detected within the CURRENT document alone *)
+  let bad = make_doc ~rows:[ ("exact value", Some 0.5, 0.5002) ] () in
+  let r = run_diff ~baseline:bad ~current:bad () in
+  Alcotest.(check int) "one hard failure" 1 (count Obs.Diff.Fail r);
+  Alcotest.(check int) "exit 1" 1 (Obs.Diff.exit_code r);
+  (* ... and tolerance is respected on both sides of the edge *)
+  let within = make_doc ~rows:[ ("exact value", Some 0.5, 0.5 +. 5e-7) ] () in
+  let r = run_diff ~baseline:within ~current:within () in
+  Alcotest.(check int) "within tolerance" 0 (count Obs.Diff.Fail r);
+  let custom = { Obs.Diff.default_config with paper_tol = 1e-3 } in
+  let r = run_diff ~config:custom ~baseline:bad ~current:bad () in
+  Alcotest.(check int) "widened tolerance passes" 0 (count Obs.Diff.Fail r)
+
+let test_measured_drift_fails_hard () =
+  let baseline = make_doc ~rows:[ ("exact value", None, 0.625) ] () in
+  let current = make_doc ~rows:[ ("exact value", None, 0.6250001) ] () in
+  let r = run_diff ~baseline ~current () in
+  Alcotest.(check int) "deterministic drift is Fail" 1 (count Obs.Diff.Fail r);
+  Alcotest.(check int) "exit 1" 1 (Obs.Diff.exit_code r)
+
+let test_time_drift_warns_only () =
+  (* timing-shaped keys: generous tolerance, and never worse than Warn *)
+  let baseline = make_doc ~metrics:[ ("solve_seconds_k2", 1.0) ] () in
+  let slower = make_doc ~metrics:[ ("solve_seconds_k2", 10.0) ] () in
+  let r = run_diff ~baseline ~current:slower () in
+  Alcotest.(check int) "no hard failure" 0 (count Obs.Diff.Fail r);
+  Alcotest.(check int) "one warning" 1 (count Obs.Diff.Warn r);
+  Alcotest.(check int) "exit 0 on warnings" 0 (Obs.Diff.exit_code r);
+  let wobbly = make_doc ~metrics:[ ("solve_seconds_k2", 1.3) ] () in
+  let r = run_diff ~baseline ~current:wobbly () in
+  Alcotest.(check int) "30% wobble tolerated" 0 (List.length r.findings)
+
+let test_missing_section_warns () =
+  let baseline =
+    Obs.Json.(
+      match make_doc ~id:"E1" () with
+      | Obj fields ->
+          (* a second section the current run will not have *)
+          let extra =
+            match make_doc ~id:"E5" ~title:"skipped" () with
+            | Obj f -> (
+                match List.assoc "experiments" f with
+                | List l -> l
+                | _ -> [])
+            | _ -> []
+          in
+          Obj
+            (List.map
+               (function
+                 | "experiments", List l -> ("experiments", List (l @ extra))
+                 | kv -> kv)
+               fields)
+      | _ -> Alcotest.fail "doc is not an object")
+  in
+  let current = make_doc ~id:"E1" () in
+  let r = run_diff ~baseline ~current () in
+  Alcotest.(check int) "missing section is Warn" 1 (count Obs.Diff.Warn r);
+  Alcotest.(check int) "not a failure" 0 (Obs.Diff.exit_code r);
+  (* the reverse direction: a section the baseline has never seen is Info *)
+  let r = run_diff ~baseline:current ~current:baseline () in
+  Alcotest.(check int) "new section is Info" 1 (count Obs.Diff.Info r);
+  Alcotest.(check int) "no warnings" 0 (count Obs.Diff.Warn r)
+
+let test_row_set_changes () =
+  let baseline =
+    make_doc ~rows:[ ("kept", None, 1.0); ("removed", None, 2.0) ] ()
+  in
+  let current = make_doc ~rows:[ ("kept", None, 1.0); ("added", None, 3.0) ] () in
+  let r = run_diff ~baseline ~current () in
+  let subjects sev =
+    List.filter_map
+      (fun (f : Obs.Diff.finding) ->
+        if f.severity = sev then Some f.subject else None)
+      r.findings
+  in
+  Alcotest.(check (list string)) "removed row warns" [ "removed" ]
+    (subjects Obs.Diff.Warn);
+  Alcotest.(check (list string)) "added row informs" [ "added" ]
+    (subjects Obs.Diff.Info);
+  Alcotest.(check int) "still exit 0" 0 (Obs.Diff.exit_code r)
+
+let test_invalid_documents_rejected () =
+  let good = make_doc () in
+  let bogus = Obs.Json.Obj [ ("schema_version", Obs.Json.Int 999) ] in
+  (match Obs.Diff.diff ~baseline:bogus ~current:good () with
+  | Error e ->
+      Alcotest.(check bool) "names the baseline" true
+        (String.length e > 9 && String.sub e 0 9 = "baseline:")
+  | Ok _ -> Alcotest.fail "unversioned baseline accepted");
+  match Obs.Diff.diff ~baseline:good ~current:Obs.Json.Null () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "null current accepted"
+
+let test_v1_baseline_against_v2 () =
+  (* a committed v1 baseline must diff cleanly against a v2 run, with the
+     version skew surfaced as an informational finding *)
+  let v1 =
+    Obs.Json.(
+      match make_doc ~rows:[ ("exact value", Some 0.5, 0.5) ] () with
+      | Obj fields ->
+          Obj
+            (List.map
+               (function
+                 | "schema_version", _ -> ("schema_version", Int 1)
+                 | kv -> kv)
+               fields)
+      | _ -> Alcotest.fail "doc is not an object")
+  in
+  (match Obs.Results.validate v1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v1 document rejected by validator: %s" e);
+  let v2 = make_doc ~rows:[ ("exact value", Some 0.5, 0.5) ] () in
+  let r = run_diff ~baseline:v1 ~current:v2 () in
+  Alcotest.(check int) "no failures across versions" 0 (count Obs.Diff.Fail r);
+  let skew =
+    List.filter
+      (fun (f : Obs.Diff.finding) -> f.subject = "schema_version")
+      r.findings
+  in
+  (match skew with
+  | [ f ] -> Alcotest.(check bool) "skew is Info" true (f.severity = Obs.Diff.Info)
+  | _ -> Alcotest.fail "schema-version skew not reported");
+  Alcotest.(check int) "exit 0" 0 (Obs.Diff.exit_code r)
+
+let test_nested_metrics_and_report_render () =
+  (* nested gc/counters objects compare per leaf, and the renderer names
+     hard failures *)
+  let with_gc words =
+    let doc = Obs.Results.create ~generated_by:"test suite" () in
+    let s = Obs.Results.section doc ~id:"E1" ~title:"t" in
+    Obs.Results.add_section_metrics s
+      [
+        ( "counters",
+          Obs.Json.Obj [ ("sim.steps", Obs.Json.Int 100) ] );
+        ("gc", Obs.Json.Obj [ ("minor_words", Obs.Json.Float words) ]);
+      ];
+    Obs.Results.to_json doc
+  in
+  let r = run_diff ~baseline:(with_gc 1e6) ~current:(with_gc 1e8) () in
+  (* gc.minor_words is a soft key: 100x drift warns but cannot fail *)
+  Alcotest.(check int) "gc drift warns" 1 (count Obs.Diff.Warn r);
+  Alcotest.(check int) "gc drift never fails" 0 (count Obs.Diff.Fail r);
+  Alcotest.(check int) "both leaves compared" 2 r.metrics_compared;
+  let bad = make_doc ~rows:[ ("q", Some 0.5, 0.75) ] () in
+  let r = run_diff ~baseline:bad ~current:bad () in
+  let rendered = Fmt.str "@[<v>%a@]" Obs.Diff.pp_report r in
+  List.iter
+    (fun needle ->
+      let has =
+        let nl = String.length needle and rl = String.length rendered in
+        let rec go i = i + nl <= rl && (String.sub rendered i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (Fmt.str "report mentions %S" needle) true has)
+    [ "REGRESSION"; "FAIL"; "q" ]
+
+(* ---- Obs.Gc_stats ---------------------------------------------------- *)
+
+let test_gc_stats_measure () =
+  let (), d = Obs.Gc_stats.measure (fun () -> ignore (Sys.opaque_identity (List.init 10_000 (fun i -> i)))) in
+  Alcotest.(check bool) "allocation observed" true (Obs.Gc_stats.allocated_words d > 0.0);
+  Alcotest.(check bool) "minor words grew" true (d.minor_words > 0.0);
+  Alcotest.(check bool) "collections monotone" true
+    (d.minor_collections >= 0 && d.major_collections >= 0 && d.compactions >= 0);
+  Alcotest.(check bool) "heap high-water positive" true (d.top_heap_words > 0);
+  (* the JSON form parses back and carries every field *)
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Gc_stats.to_json d)) with
+  | Error e -> Alcotest.failf "gc json: %s" e
+  | Ok j ->
+      List.iter
+        (fun k ->
+          match Obs.Json.member k j with
+          | Some _ -> ()
+          | None -> Alcotest.failf "gc json missing %S" k)
+        [
+          "minor_words";
+          "promoted_words";
+          "major_words";
+          "allocated_words";
+          "minor_collections";
+          "major_collections";
+          "compactions";
+          "top_heap_words";
+        ]
+
+(* ---- Obs.Trajectory -------------------------------------------------- *)
+
+let traj_doc ~states ~seconds ~value =
+  let doc = Obs.Results.create ~generated_by:"test suite" () in
+  let s = Obs.Results.section doc ~id:"E5" ~title:"convergence" in
+  Obs.Results.row s ~measured_value:value ~quantity:"exact Prob[bad]" ~paper:"-"
+    ~measured:(Fmt.str "%g" value) ();
+  Obs.Results.add_section_metrics s
+    [
+      ("states_k1", Obs.Json.Int states);
+      ("solve_seconds_k1", Obs.Json.Float seconds);
+    ];
+  Obs.Results.to_json doc
+
+let test_trajectory_tables () =
+  let p label doc =
+    match Obs.Trajectory.of_json ~label doc with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "point %s: %s" label e
+  in
+  let a = p "a" (traj_doc ~states:1000 ~seconds:2.0 ~value:0.75)
+  and b = p "b" (traj_doc ~states:1000 ~seconds:1.0 ~value:0.75) in
+  match Obs.Trajectory.tables [ a; b ] with
+  | [ t ] ->
+      Alcotest.(check string) "section id" "E5" t.section_id;
+      Alcotest.(check string) "title" "convergence" t.title;
+      Alcotest.(check (list string)) "columns in order" [ "a"; "b" ] t.columns;
+      let series key =
+        match List.assoc_opt key t.rows with
+        | Some vs -> vs
+        | None -> Alcotest.failf "series %S missing" key
+      in
+      Alcotest.(check (list (option (float 1e-9))))
+        "measured values" [ Some 0.75; Some 0.75 ]
+        (series "exact Prob[bad]");
+      Alcotest.(check (list (option (float 1e-9))))
+        "derived states/sec" [ Some 500.0; Some 1000.0 ]
+        (series "states/s_k1")
+  | ts -> Alcotest.failf "expected 1 table, got %d" (List.length ts)
+
+let test_trajectory_scan () =
+  let dir = Filename.temp_file "blunting_traj" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Obs.Json.write_file
+        (Filename.concat dir "BENCH_2026-01-01.json")
+        (traj_doc ~states:10 ~seconds:1.0 ~value:0.5);
+      Obs.Json.write_file
+        (Filename.concat dir "BENCH_2026-02-01.json")
+        (traj_doc ~states:20 ~seconds:1.0 ~value:0.5);
+      (* non-matching names are ignored *)
+      Obs.Json.write_file (Filename.concat dir "notes.json") Obs.Json.Null;
+      (match Obs.Trajectory.scan ~dir with
+      | Error e -> Alcotest.failf "scan: %s" e
+      | Ok points ->
+          Alcotest.(check (list string))
+            "chronological labels" [ "2026-01-01"; "2026-02-01" ]
+            (List.map (fun (p : Obs.Trajectory.point) -> p.label) points));
+      (* a corrupt trajectory point is an error, not silently skipped *)
+      Obs.Json.write_file
+        (Filename.concat dir "BENCH_2026-03-01.json")
+        (Obs.Json.Obj [ ("schema_version", Obs.Json.Int 999) ]);
+      match Obs.Trajectory.scan ~dir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "invalid point accepted")
+
+let tests =
+  [
+    Alcotest.test_case "diff: self-diff is clean" `Quick test_self_diff_clean;
+    Alcotest.test_case "diff: paper drift fails hard" `Quick test_paper_drift_fails;
+    Alcotest.test_case "diff: measured drift fails hard" `Quick
+      test_measured_drift_fails_hard;
+    Alcotest.test_case "diff: timing drift only warns" `Quick
+      test_time_drift_warns_only;
+    Alcotest.test_case "diff: missing/new sections" `Quick test_missing_section_warns;
+    Alcotest.test_case "diff: added/removed rows" `Quick test_row_set_changes;
+    Alcotest.test_case "diff: invalid documents rejected" `Quick
+      test_invalid_documents_rejected;
+    Alcotest.test_case "diff: v1 baseline vs v2 current" `Quick
+      test_v1_baseline_against_v2;
+    Alcotest.test_case "diff: nested metrics, rendering" `Quick
+      test_nested_metrics_and_report_render;
+    Alcotest.test_case "gc-stats: measure and serialize" `Quick test_gc_stats_measure;
+    Alcotest.test_case "trajectory: per-section tables" `Quick test_trajectory_tables;
+    Alcotest.test_case "trajectory: directory scan" `Quick test_trajectory_scan;
+  ]

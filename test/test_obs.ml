@@ -48,6 +48,31 @@ let test_histogram_semantics () =
       | None -> Alcotest.failf "bucket %g missing" ub)
     [ (1.0, 1); (10.0, 3); (100.0, 4); (infinity, 5) ]
 
+let test_histogram_percentiles () =
+  let h = Obs.Metrics.histogram ~buckets:[ 1.0; 10.0; 100.0 ] "test.obs.h2" in
+  (* empty histogram: percentiles are nan, and the snapshot renders them
+     (via the JSON printer's non-finite rule) as null *)
+  let s0 = Obs.Metrics.histogram_summary h in
+  Alcotest.(check bool) "empty p50 is nan" true (Float.is_nan s0.p50);
+  List.iter (Obs.Metrics.observe h) [ 0.5; 5.0; 50.0; 500.0; 2.0 ];
+  let s = Obs.Metrics.histogram_summary h in
+  (* counts per bucket: <=1 -> 1, <=10 -> 2, <=100 -> 1, overflow -> 1.
+     p50: rank 2.5 interpolates inside (1, 10]: 1 + 9 * 1.5/2 = 7.75.
+     p90/p99: rank 4.5/4.95 inside the overflow bucket (100, vmax=500]. *)
+  Alcotest.(check (float 1e-9)) "p50 interpolated" 7.75 s.p50;
+  Alcotest.(check (float 1e-9)) "p90 in overflow bucket" 300.0 s.p90;
+  Alcotest.(check (float 1e-9)) "p99 in overflow bucket" 480.0 s.p99;
+  (* one observation: every percentile collapses to it (clamped to min/max) *)
+  let h1 = Obs.Metrics.histogram ~buckets:[ 1.0; 10.0 ] "test.obs.h3" in
+  Obs.Metrics.observe h1 3.0;
+  let s1 = Obs.Metrics.histogram_summary h1 in
+  List.iter
+    (fun (name, v) -> Alcotest.(check (float 1e-9)) name 3.0 v)
+    [ ("single p50", s1.p50); ("single p90", s1.p90); ("single p99", s1.p99) ];
+  (* percentiles are monotone in q and bounded by the observed range *)
+  Alcotest.(check bool) "p50 <= p90 <= p99" true (s.p50 <= s.p90 && s.p90 <= s.p99);
+  Alcotest.(check bool) "within [min, max]" true (s.min <= s.p50 && s.p99 <= s.max)
+
 let test_snapshot_shape_and_reset () =
   let c = Obs.Metrics.counter "test.obs.reset_me" in
   Obs.Metrics.add c 41;
@@ -93,6 +118,38 @@ let test_json_parse_errors () =
       | Ok _ -> Alcotest.failf "accepted %S" s
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "truex"; "1 2" ]
+
+(* Regression: non-finite floats must render as RFC-legal null, in both
+   printers, and a results document carrying one must still validate after
+   a round-trip (the nan becomes Null, which the schema accepts wherever a
+   number is optional). *)
+let test_json_non_finite () =
+  List.iter
+    (fun v ->
+      Alcotest.(check string)
+        (Fmt.str "compact %h" v)
+        "null"
+        (Obs.Json.to_string (Obs.Json.Float v));
+      Alcotest.(check string)
+        (Fmt.str "pretty %h" v)
+        "null"
+        (Fmt.str "%a" Obs.Json.pp (Obs.Json.Float v)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* nested: the list/object printers hit the same code path *)
+  (match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.List [ Obs.Json.Float Float.nan ])) with
+  | Ok (Obs.Json.List [ Obs.Json.Null ]) -> ()
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (Obs.Json.to_string j)
+  | Error e -> Alcotest.failf "nested nan did not round-trip: %s" e);
+  let doc = Obs.Results.create ~generated_by:"test suite" () in
+  let s = Obs.Results.section doc ~id:"E0" ~title:"non-finite" in
+  Obs.Results.row s ~paper_value:0.5 ~measured_value:Float.nan
+    ~quantity:"states/sec on an instant solve" ~paper:"1/2" ~measured:"nan" ();
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Results.to_json doc)) with
+  | Error e -> Alcotest.failf "doc with nan did not parse: %s" e
+  | Ok j -> (
+      match Obs.Results.validate j with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "null measured_value rejected: %s" e)
 
 (* ---- trace export --------------------------------------------------- *)
 
@@ -253,6 +310,40 @@ let test_solver_stats_memoization () =
   Alcotest.(check int) "reset zeroes stats" 0
     (s3.states + s3.memo_hits + s3.memo_misses + s3.max_depth)
 
+let test_solver_progress_hook () =
+  Tiny_solver.reset ();
+  let ticks : Mdp.Solver.progress list ref = ref [] in
+  Tiny_solver.set_progress ~interval_states:3 (Some (fun p -> ticks := p :: !ticks));
+  let _ = Tiny_solver.value 20 in
+  let ticks_during = List.rev !ticks in
+  (* 21 distinct states (20..0), one miss each: the hook fires at every
+     multiple of 3 misses — seven times, from inside the recursion *)
+  Alcotest.(check int) "fires every interval" 7 (List.length ticks_during);
+  List.iteri
+    (fun i (p : Mdp.Solver.progress) ->
+      Alcotest.(check int)
+        (Fmt.str "tick %d at a 3-state boundary" i)
+        (3 * (i + 1))
+        p.stats.memo_misses;
+      Alcotest.(check bool) "elapsed non-negative" true (p.elapsed_s >= 0.0);
+      Alcotest.(check bool)
+        "rate consistent with elapsed" true
+        (p.states_per_sec >= 0.0 && Float.is_finite p.states_per_sec))
+    ticks_during;
+  (* progress never fires outside a solve: re-solving the memoized root is
+     pure hits, and stats/best_move queries do not tick *)
+  let n = List.length !ticks in
+  let _ = Tiny_solver.value 20 in
+  let _ = Tiny_solver.best_move 5 in
+  let _ = Tiny_solver.stats () in
+  Alcotest.(check int) "no ticks after the solve" n (List.length !ticks);
+  (* None uninstalls the hook *)
+  Tiny_solver.set_progress None;
+  Tiny_solver.reset ();
+  let _ = Tiny_solver.value 9 in
+  Alcotest.(check int) "uninstalled hook is silent" n (List.length !ticks);
+  Tiny_solver.reset ()
+
 (* ---- results document ----------------------------------------------- *)
 
 let test_results_schema () =
@@ -306,16 +397,21 @@ let tests =
     Alcotest.test_case "metrics: counter semantics" `Quick test_counter_semantics;
     Alcotest.test_case "metrics: gauge semantics" `Quick test_gauge_semantics;
     Alcotest.test_case "metrics: histogram semantics" `Quick test_histogram_semantics;
+    Alcotest.test_case "metrics: histogram percentiles" `Quick
+      test_histogram_percentiles;
     Alcotest.test_case "metrics: snapshot shape, reset" `Quick
       test_snapshot_shape_and_reset;
     Alcotest.test_case "json: round-trip" `Quick test_json_round_trip;
     Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json: non-finite floats render null" `Quick
+      test_json_non_finite;
     Alcotest.test_case "trace export: JSONL round-trip" `Quick test_jsonl_round_trip;
     Alcotest.test_case "trace export: Chrome trace" `Quick test_chrome_round_trip;
     Alcotest.test_case "trace: cached accessors" `Quick test_trace_accessors_cached;
     Alcotest.test_case "spans: timing and export" `Quick test_spans;
     Alcotest.test_case "solver: memo-hit statistics" `Quick
       test_solver_stats_memoization;
+    Alcotest.test_case "solver: progress hook" `Quick test_solver_progress_hook;
     Alcotest.test_case "results: schema round-trip" `Quick test_results_schema;
     Alcotest.test_case "log: verbosity levels" `Quick test_log_levels;
   ]
