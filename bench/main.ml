@@ -10,7 +10,9 @@
      dune exec bench/main.exe -- --baseline BENCH_X.json  # diff after the run
      dune exec bench/main.exe -- --progress      # live solver telemetry
      dune exec bench/main.exe -- --verbosity info
+     dune exec bench/main.exe -- --jobs 4        # parallel MC + solver frontier
      BLUNTING_KMAX=3 dune exec bench/main.exe    # cap the exact solver's k
+   BLUNTING_JOBS=4 dune exec bench/main.exe    # default for --jobs
      BLUNTING_SKIP_BECHAMEL=1 dune exec bench/main.exe
 
    The --json document follows the Obs.Results schema (see
@@ -31,6 +33,7 @@ type options = {
   baseline_path : string option;
   only : string list option;  (* uppercased section ids *)
   progress : bool;
+  jobs : int;
   mutable skip_bechamel : bool;
 }
 
@@ -39,11 +42,15 @@ let options =
   and baseline_path = ref None
   and only = ref None
   and progress = ref false
+  (* default 1, not the core count: every deterministic quantity is
+     bit-identical at any job count, but the per-domain solver stats land
+     in the results document and would drift against single-job baselines *)
+  and jobs = ref (Option.value (Par.Pool.env_jobs ()) ~default:1)
   and skip_bechamel = ref false in
   let usage () =
     Fmt.epr
       "usage: main.exe [--json PATH] [--baseline PATH] [--only E1,E2,...] \
-       [--progress] [--skip-bechamel] [--verbosity LEVEL]@.";
+       [--progress] [--jobs N] [--skip-bechamel] [--verbosity LEVEL]@.";
     exit 2
   in
   let rec parse = function
@@ -64,6 +71,13 @@ let options =
         parse rest
     | "--progress" :: rest ->
         progress := true;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j
+        | _ ->
+            Fmt.epr "--jobs expects a positive integer@.";
+            exit 2);
         parse rest
     | "--skip-bechamel" :: rest ->
         skip_bechamel := true;
@@ -86,6 +100,7 @@ let options =
     baseline_path = !baseline_path;
     only = !only;
     progress = !progress;
+    jobs = !jobs;
     skip_bechamel = !skip_bechamel;
   }
 
@@ -124,7 +139,7 @@ let e1_atomic () =
   let r = Report.section ~id:"E1" ~title:"Appendix A.1 — weakener with atomic registers" () in
   let v, dt = time "E1 solve atomic" Model.Weakener_atomic.bad_probability in
   let mc =
-    Adversary.Monte_carlo.estimate ~trials:2_000 ~seed:101
+    Adversary.Monte_carlo.estimate ~jobs:options.jobs ~trials:2_000 ~seed:101
       ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
       Programs.Weakener.atomic_config
   in
@@ -150,7 +165,8 @@ let e2_abd () =
   Model.Weakener_abd.reset ();
   let wins = Adversary.Figure1.always_wins () in
   let v, dt, st =
-    timed_solve "E2 solve ABD k=1" (fun () -> Model.Weakener_abd.bad_probability ~k:1 ())
+    timed_solve "E2 solve ABD k=1" (fun () ->
+        Model.Weakener_abd.bad_probability ~jobs:options.jobs ~k:1 ())
   in
   Report.row r ~quantity:"Figure 1 adversary vs simulated ABD"
     ~paper:"wins for both coin values"
@@ -216,7 +232,8 @@ let e3_abd2 () =
   let r = Report.section ~id:"E3" ~title:"Appendix A.3 — weakener with ABD^2" () in
   Model.Weakener_abd.reset ();
   let v, dt, st =
-    timed_solve "E3 solve ABD k=2" (fun () -> Model.Weakener_abd.bad_probability ~k:2 ())
+    timed_solve "E3 solve ABD k=2" (fun () ->
+        Model.Weakener_abd.bad_probability ~jobs:options.jobs ~k:2 ())
   in
   let generic = Core.Bound.weakener_instance ~k:2 in
   Report.row r ~quantity:"generic bound on Prob[p2 loops] (Thm 4.2)" ~paper:"7/8 = 0.875"
@@ -318,7 +335,7 @@ let e5_convergence () =
   for k = 1 to kmax do
     let v, dt, st =
       timed_solve (Fmt.str "E5 solve ABD k=%d" k) (fun () ->
-          Model.Weakener_abd.bad_probability ~k ())
+          Model.Weakener_abd.bad_probability ~jobs:options.jobs ~k ())
     in
     let law = (float_of_int (k * k) +. 1.0) /. (2.0 *. float_of_int (k * k)) in
     Report.table_row r
@@ -670,7 +687,7 @@ let e10_snapshot_game () =
       add
         (Fmt.str "Afek et al., Snapshot^%d" k)
         ~paper:"1/2 (negative result: no amplification)"
-        (Model.Ghw_snapshot_game.afek_bad_probability ~k))
+        (Model.Ghw_snapshot_game.afek_bad_probability ~jobs:options.jobs ~k ()))
     [ 1; 2; 4 ];
   Report.finish r;
   Fmt.pr
@@ -686,7 +703,7 @@ let e10_snapshot_game () =
     (fun k ->
       Table.add_row t2
         [ Fmt.str "Afek et al., Snapshot^%d" k;
-          Fmt.str "%.6f" (Model.Ghw_multi_game.afek_bad_probability ~k) ])
+          Fmt.str "%.6f" (Model.Ghw_multi_game.afek_bad_probability ~jobs:options.jobs ~k ()) ])
     [ 1; 2 ];
   Table.print t2;
   Fmt.pr
@@ -705,7 +722,7 @@ let e11_va_weakener () =
   in
   List.iter
     (fun k ->
-      let v = Model.Weakener_va.bad_probability ~k in
+      let v = Model.Weakener_va.bad_probability ~jobs:options.jobs ~k () in
       let law = (float_of_int (k * k) +. 1.0) /. (2.0 *. float_of_int (k * k)) in
       Report.table_row r
         [ string_of_int k; Fmt.str "%.6f" v; Fmt.str "%.6f" law ];
@@ -724,6 +741,71 @@ let e11_va_weakener () =
      commitment happens at a definite step and cannot be conditioned on the@.\
      coin. Not being strongly linearizable (VA is not) is necessary but not@.\
      sufficient for a program to be weakened.@."
+
+(* Sequential vs parallel wall clock for the two engine entry points.
+   The values are asserted bit-identical — the speedup rows are the only
+   machine-dependent part, and their metric names are soft diff keys. *)
+let par_speedup () =
+  let jobs = if options.jobs > 1 then options.jobs else Par.Pool.default_jobs () in
+  let r =
+    Report.section ~id:"PAR"
+      ~title:(Fmt.str "Parallel engine — sequential vs %d jobs" jobs)
+      ~headers:[ "workload"; "seq"; "par"; "speedup"; "identical" ] ()
+  in
+  let mc j =
+    Adversary.Monte_carlo.estimate ~jobs:j ~trials:4_000 ~seed:2026
+      ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
+      Programs.Weakener.atomic_config
+  in
+  let mc_seq, t_mseq = time "PAR mc seq" (fun () -> mc 1) in
+  let mc_par, t_mpar = time "PAR mc par" (fun () -> mc jobs) in
+  let mc_same = mc_seq = mc_par in
+  Model.Weakener_abd.reset ();
+  let v_seq, t_sseq =
+    time "PAR solve seq" (fun () -> Model.Weakener_abd.bad_probability ~k:2 ())
+  in
+  Model.Weakener_abd.reset ();
+  let v_par, t_spar =
+    time "PAR solve par" (fun () ->
+        Model.Weakener_abd.bad_probability ~jobs ~k:2 ())
+  in
+  let solve_same = Float.equal v_seq v_par in
+  let speedup seq par = if par > 0.0 then seq /. par else 1.0 in
+  let add name seq par same =
+    Report.table_row r
+      [
+        name;
+        Fmt.str "%.2fs" seq;
+        Fmt.str "%.2fs" par;
+        Fmt.str "%.2fx" (speedup seq par);
+        string_of_bool same;
+      ];
+    Report.json_row r
+      ~quantity:(Fmt.str "%s: parallel result identical to sequential" name)
+      ~paper:"bit-identical at every job count"
+      ~paper_value:1.0
+      ~measured_value:(if same then 1.0 else 0.0)
+      ~measured:(Fmt.str "%b (%.2fs -> %.2fs, %.2fx)" same seq par (speedup seq par))
+      ()
+  in
+  add "Monte-Carlo, 4000 trials" t_mseq t_mpar mc_same;
+  add "exact solve, ABD^2" t_sseq t_spar solve_same;
+  Report.metrics r
+    [
+      ("jobs", Obs.Json.Int jobs);
+      ("mc_seq_seconds", Obs.Json.Float t_mseq);
+      ("mc_par_seconds", Obs.Json.Float t_mpar);
+      ("mc_speedup_timing", Obs.Json.Float (speedup t_mseq t_mpar));
+      ("solve_seq_seconds", Obs.Json.Float t_sseq);
+      ("solve_par_seconds", Obs.Json.Float t_spar);
+      ("solve_speedup_timing", Obs.Json.Float (speedup t_sseq t_spar));
+    ];
+  Report.finish r;
+  Fmt.pr
+    "@.(Speedup depends on the machine's core count — %d domain%s available@.\
+     here; the deterministic quantities above are identical either way.)@."
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate *)
@@ -842,6 +924,7 @@ let () =
       ("E9", e9_round_based);
       ("E10", e10_snapshot_game);
       ("E11", e11_va_weakener);
+      ("PAR", par_speedup);
     ]
   in
   List.iter (fun (id, f) -> if runs id then f ()) sections;

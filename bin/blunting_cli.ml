@@ -40,6 +40,19 @@ let verbosity_term =
   in
   Term.(const setup $ arg)
 
+(* Shared --jobs flag: BLUNTING_JOBS sets the default, 1 otherwise. The
+   solved values and Monte-Carlo tallies are bit-identical at every job
+   count; only wall time (and the solver's work counters, which count
+   per-domain) change. *)
+let jobs_term =
+  Arg.(
+    value
+    & opt int (Option.value (Par.Pool.env_jobs ()) ~default:1)
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run on $(docv) domains (default: $(b,BLUNTING_JOBS) or 1). \
+           Results are bit-identical at every job count.")
+
 let registers_enum =
   Arg.enum [ ("atomic", `Atomic); ("abd", `Abd); ("abd-k", `Abd_k) ]
 
@@ -72,7 +85,7 @@ let solve_cmd =
             "Emit live solver progress to stderr (memoized states, hit rate, \
              states/sec) every 50k states explored.")
   in
-  let run () k atomic servers abd_c progress =
+  let run () k atomic servers abd_c progress jobs =
     if progress then
       Model.Weakener_abd.set_progress
         (Some (fun p -> Fmt.epr "  [mdp] %a@." Mdp.Solver.pp_progress p));
@@ -84,7 +97,8 @@ let solve_cmd =
     end
     else begin
       let v =
-        Model.Weakener_abd.bad_probability ~atomic_c:(not abd_c) ~servers ~k ()
+        Model.Weakener_abd.bad_probability ~atomic_c:(not abd_c) ~servers ~jobs
+          ~k ()
       in
       let st = Model.Weakener_abd.solver_stats () in
       Fmt.pr "weakener with ABD^%d registers (%d replicas%s):@." k servers
@@ -100,7 +114,7 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const run $ verbosity_term $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg
-      $ progress_arg)
+      $ progress_arg $ jobs_term)
 
 (* ---- figure1 -------------------------------------------------------- *)
 
@@ -160,17 +174,19 @@ let mc_cmd =
   let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"k for abd-k.") in
   let trials_arg = Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Trials.") in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
-  let run () registers k trials seed =
+  let run () registers k trials seed jobs =
     let config () = weakener_config registers k in
     let r =
-      Adversary.Monte_carlo.estimate ~trials ~seed
+      Adversary.Monte_carlo.estimate ~jobs ~trials ~seed
         ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad config
     in
     Fmt.pr "weakener, fair random scheduling: bad = %a@." Adversary.Monte_carlo.pp r
   in
   let doc = "Monte-Carlo estimate of the weakener's bad outcome under fair scheduling." in
   Cmd.v (Cmd.info "mc" ~doc)
-    Term.(const run $ verbosity_term $ registers_arg $ k_arg $ trials_arg $ seed_arg)
+    Term.(
+      const run $ verbosity_term $ registers_arg $ k_arg $ trials_arg $ seed_arg
+      $ jobs_term)
 
 (* ---- lin-sweep ------------------------------------------------------ *)
 
@@ -264,15 +280,15 @@ let ghw_cmd =
   let k_arg =
     Arg.(value & opt int 1 & info [ "k" ] ~doc:"Preamble iterations for Snapshot^k.")
   in
-  let run () k =
+  let run () k jobs =
     Fmt.pr "snapshot weakener, adversary-optimal Prob[bad]:@.";
     Fmt.pr "  atomic snapshot:  %.6f@."
       (Model.Ghw_snapshot_game.atomic_bad_probability ());
     Fmt.pr "  Afek snapshot^%d:  %.6f@." k
-      (Model.Ghw_snapshot_game.afek_bad_probability ~k)
+      (Model.Ghw_snapshot_game.afek_bad_probability ~jobs ~k ())
   in
   let doc = "Solve the exact snapshot-weakener game (atomic vs Afek^k)." in
-  Cmd.v (Cmd.info "ghw" ~doc) Term.(const run $ verbosity_term $ k_arg)
+  Cmd.v (Cmd.info "ghw" ~doc) Term.(const run $ verbosity_term $ k_arg $ jobs_term)
 
 (* ---- trace ---------------------------------------------------------- *)
 

@@ -24,35 +24,60 @@ type result = {
   ci_high : float;
 }
 
-let estimate ?(max_steps = 1_000_000) ~trials ~seed ~scheduler ~bad mk_config =
-  let master = Rng.of_int seed in
+(* What one trial reports back for the sequential merge. Trials are pure
+   functions of (seed, index): both RNG streams are derived from the pair,
+   so any domain can run any trial and the merged tallies cannot depend on
+   the schedule. *)
+type trial = { outcome : Sim.Runtime.run_result; steps : int; is_bad : bool }
+
+let run_trial ~max_steps ~seed ~scheduler ~bad mk_config i =
+  let sched_rng = Rng.stream ~seed ~index:(2 * i) in
+  let tape_rng = Rng.stream ~seed ~index:((2 * i) + 1) in
+  let t = Sim.Runtime.create (mk_config ()) (Sim.Runtime.Gen tape_rng) in
+  let outcome = Sim.Runtime.run t ~max_steps (scheduler sched_rng) in
+  let steps = Sim.Trace.count_steps (Sim.Runtime.trace t) in
+  let is_bad =
+    match outcome with
+    | Sim.Runtime.Completed -> bad (Sim.Runtime.outcome t)
+    | Sim.Runtime.Deadlocked | Sim.Runtime.Step_limit_reached -> false
+  in
+  { outcome; steps; is_bad }
+
+let estimate ?(max_steps = 1_000_000) ?pool ?(jobs = 1) ~trials ~seed
+    ~scheduler ~bad mk_config =
+  let run = run_trial ~max_steps ~seed ~scheduler ~bad mk_config in
+  let results =
+    if jobs <= 1 && pool = None then Array.init trials run
+    else
+      match pool with
+      | Some p -> Par.Pool.map p ~n:trials run
+      | None -> Par.Pool.with_pool ~jobs (fun p -> Par.Pool.map p ~n:trials run)
+  in
+  (* merge on the calling domain, in trial order: counters, metrics and
+     logging all stay single-domain *)
   let bad_count = ref 0 in
   let deadlocks = ref 0 in
   let step_limited = ref 0 in
-  for trial = 1 to trials do
-    let sched_rng = Rng.split master in
-    let tape_rng = Rng.split master in
-    let t = Sim.Runtime.create (mk_config ()) (Sim.Runtime.Gen tape_rng) in
-    let outcome = Sim.Runtime.run t ~max_steps (scheduler sched_rng) in
-    Obs.Metrics.incr M.trials;
-    Obs.Metrics.observe M.trial_steps
-      (float_of_int (Sim.Trace.count_steps (Sim.Runtime.trace t)));
-    (match outcome with
-    | Sim.Runtime.Completed ->
-        if bad (Sim.Runtime.outcome t) then begin
-          incr bad_count;
-          Obs.Metrics.incr M.bad
-        end
-    | Sim.Runtime.Deadlocked ->
-        incr deadlocks;
-        Obs.Metrics.incr M.deadlocks
-    | Sim.Runtime.Step_limit_reached ->
-        incr step_limited;
-        Obs.Metrics.incr M.step_limited);
-    Log.debug (fun m ->
-        m "trial %d/%d: %a, bad so far %d" trial trials Sim.Runtime.pp_run_result
-          outcome !bad_count)
-  done;
+  Array.iteri
+    (fun i r ->
+      Obs.Metrics.incr M.trials;
+      Obs.Metrics.observe M.trial_steps (float_of_int r.steps);
+      (match r.outcome with
+      | Sim.Runtime.Completed ->
+          if r.is_bad then begin
+            incr bad_count;
+            Obs.Metrics.incr M.bad
+          end
+      | Sim.Runtime.Deadlocked ->
+          incr deadlocks;
+          Obs.Metrics.incr M.deadlocks
+      | Sim.Runtime.Step_limit_reached ->
+          incr step_limited;
+          Obs.Metrics.incr M.step_limited);
+      Log.debug (fun m ->
+          m "trial %d/%d: %a, bad so far %d" (i + 1) trials
+            Sim.Runtime.pp_run_result r.outcome !bad_count))
+    results;
   if !deadlocks > 0 || !step_limited > 0 then
     Log.warn (fun m ->
         m "%d/%d trials deadlocked, %d/%d hit the %d-step limit" !deadlocks trials

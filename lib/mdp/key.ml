@@ -1,0 +1,29 @@
+(* Injectivity argument: byte 255 is reserved as the wide-int escape, so
+   the one-byte codes 0..254 (= -120..134) and the escaped 8-byte form
+   decode unambiguously; bools and option tags are fixed one-byte; lists
+   are length-prefixed. Any fixed-order composition of these is a prefix
+   code over states. *)
+
+let int b v =
+  if v >= -120 && v <= 134 then Buffer.add_uint8 b (v + 120)
+  else begin
+    Buffer.add_uint8 b 255;
+    Buffer.add_int64_le b (Int64.of_int v)
+  end
+
+let bool b v = Buffer.add_uint8 b (if v then 1 else 0)
+
+let option b f = function
+  | None -> Buffer.add_uint8 b 0
+  | Some x ->
+      Buffer.add_uint8 b 1;
+      f b x
+
+let list b f xs =
+  int b (List.length xs);
+  List.iter (f b) xs
+
+let run f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b

@@ -1,0 +1,33 @@
+(** Combinators for canonical state keys ({!Solver.GAME.encode}).
+
+    The solver memoizes on the string produced by [encode], so an encoder
+    must be injective on reachable states: equal states must produce equal
+    keys and distinct states distinct keys. These combinators guarantee
+    injectivity compositionally — every value is either self-delimiting
+    (fixed-width or tagged) or length-prefixed — so an encoder that writes
+    each field of the state exactly once, in a fixed order, is injective
+    by construction.
+
+    Keys are compact binary: small ints are one byte, so a typical model
+    state of a few dozen fields keys in well under 100 bytes. This is the
+    whole point — the memo table then hashes and compares flat strings
+    instead of traversing deep algebraic states on every probe. *)
+
+(** [int b v] appends an integer: one byte for [-120 <= v <= 134]
+    (every value this repo's models store), nine bytes otherwise. *)
+val int : Buffer.t -> int -> unit
+
+(** [bool b v] appends one byte. *)
+val bool : Buffer.t -> bool -> unit
+
+(** [option b f v] appends a presence byte, then [f] on the payload. *)
+val option : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+
+(** [list b f xs] appends the length (so adjacent lists cannot blur into
+    each other), then each element. *)
+val list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+
+(** [run f] allocates a buffer, runs the encoder, and returns the key.
+    Thread-safe: every call uses a private buffer, so [encode] may run
+    concurrently on several domains. *)
+val run : (Buffer.t -> unit) -> string

@@ -3,7 +3,9 @@ let log_src = Logs.Src.create "blunting.mdp" ~doc:"Exact game solver"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 (* Aggregate, process-wide instrumentation across every solver instance;
-   per-instance figures come from [stats ()]. *)
+   per-instance figures come from [stats ()]. Updated only at the end of a
+   root solve (never from the recursion, never from worker domains), so
+   the registry needs no synchronization and the hot loop pays nothing. *)
 module M = struct
   open Obs.Metrics
 
@@ -24,6 +26,7 @@ module type GAME = sig
   val apply : state -> move -> transition
 
   val terminal_value : state -> float
+  val encode : state -> string
   val pp_move : Format.formatter -> move -> unit
 end
 
@@ -59,95 +62,137 @@ let default_progress_interval = 50_000
 module Make (G : GAME) = struct
   type mark = In_progress | Value of float
 
-  (* The default polymorphic hash stops after 10 meaningful nodes, which
-     collides catastrophically on deep model states; hash much deeper. *)
-  module H = Hashtbl.Make (struct
-    type t = G.state
+  (* All mutable solver state lives in an instance, so parallel solves can
+     give every domain a private memo table and merge the counters
+     afterwards. States are keyed by their canonical [G.encode] string:
+     probing hashes a flat short string instead of walking a deep model
+     state with the polymorphic hash (which either stops early and
+     collides, or is told to traverse ~500 nodes per probe). *)
+  type t = {
+    memo : (string, mark) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+    mutable states : int;  (* states memoized with a final Value *)
+    mutable max_depth : int;
+    mutable progress_hook : (progress -> unit) option;
+    mutable progress_interval : int;
+    mutable solve_start : float;
+    mutable solve_base_misses : int;  (* misses when the root call began *)
+  }
 
-    let equal = ( = )
-    let hash s = Hashtbl.hash_param 500 500 s
-  end)
+  let make_instance () =
+    {
+      memo = Hashtbl.create 65_536;
+      hits = 0;
+      misses = 0;
+      states = 0;
+      max_depth = 0;
+      progress_hook = None;
+      progress_interval = default_progress_interval;
+      solve_start = Obs.Span.now_us ();
+      solve_base_misses = 0;
+    }
 
-  let memo : mark H.t = H.create 65_536
-  let hits = ref 0
-  let misses = ref 0
-  let max_depth = ref 0
+  (* The module-level instance behind the historical [value]/[stats] API. *)
+  let default = make_instance ()
+
+  let set_progress ?(interval_states = default_progress_interval) hook =
+    default.progress_interval <- max 1 interval_states;
+    default.progress_hook <- hook
+
+  let stats_of i =
+    { states = i.states; memo_hits = i.hits; memo_misses = i.misses;
+      max_depth = i.max_depth }
+
+  let stats () = stats_of default
+
+  let progress_of i =
+    let elapsed_s = (Obs.Span.now_us () -. i.solve_start) /. 1e6 in
+    {
+      stats = stats_of i;
+      elapsed_s;
+      states_per_sec =
+        (if elapsed_s > 0.0 then
+           float_of_int (i.misses - i.solve_base_misses) /. elapsed_s
+         else 0.0);
+    }
 
   (* Progress telemetry: long solves (minutes at k >= 3) otherwise give no
      output until they return. The hook fires from inside the recursion,
      every [interval] newly memoized states — so never after [value] has
-     returned — alongside an info log on the blunting.mdp source. *)
-  let progress_hook : (progress -> unit) option ref = ref None
-  let progress_interval = ref default_progress_interval
-  let solve_start = ref (Obs.Span.now_us ())
-
-  let set_progress ?(interval_states = default_progress_interval) hook =
-    progress_interval := max 1 interval_states;
-    progress_hook := hook
-
-  let stats () =
-    { states = H.length memo; memo_hits = !hits; memo_misses = !misses;
-      max_depth = !max_depth }
-
-  let progress_tick () =
-    if !misses mod !progress_interval = 0 then begin
-      let elapsed_s = (Obs.Span.now_us () -. !solve_start) /. 1e6 in
-      let p =
-        {
-          stats = stats ();
-          elapsed_s;
-          states_per_sec =
-            (if elapsed_s > 0.0 then float_of_int !misses /. elapsed_s else 0.0);
-        }
-      in
+     returned — alongside an info log on the blunting.mdp source. Worker
+     instances carry no hook, so parallel solves never fire it off the
+     calling domain. *)
+  let progress_tick i =
+    if i.misses mod i.progress_interval = 0 then begin
+      let p = progress_of i in
       Log.info (fun f -> f "progress: %a" pp_progress p);
-      match !progress_hook with None -> () | Some hook -> hook p
+      match i.progress_hook with None -> () | Some hook -> hook p
     end
 
-  let rec value_at depth s =
-    if depth > !max_depth then begin
-      max_depth := depth;
-      Obs.Metrics.max_gauge M.depth (float_of_int depth)
-    end;
-    match H.find_opt memo s with
+  let rec value_at i depth s =
+    if depth > i.max_depth then i.max_depth <- depth;
+    let key = G.encode s in
+    match Hashtbl.find_opt i.memo key with
     | Some (Value v) ->
-        incr hits;
-        Obs.Metrics.incr M.memo_hits;
+        i.hits <- i.hits + 1;
         v
     | Some In_progress -> raise Cyclic
     | None ->
-        incr misses;
-        Obs.Metrics.incr M.memo_misses;
-        progress_tick ();
-        H.replace memo s In_progress;
+        i.misses <- i.misses + 1;
+        progress_tick i;
+        Hashtbl.replace i.memo key In_progress;
         let v =
           match G.moves s with
           | [] -> G.terminal_value s
           | ms ->
               List.fold_left
-                (fun acc m -> Float.max acc (transition_value depth (G.apply s m)))
+                (fun acc m -> Float.max acc (transition_value i depth (G.apply s m)))
                 neg_infinity ms
         in
-        H.replace memo s (Value v);
-        Obs.Metrics.incr M.states;
+        Hashtbl.replace i.memo key (Value v);
+        i.states <- i.states + 1;
         v
 
-  and transition_value depth = function
-    | G.Det s -> value_at (depth + 1) s
+  and transition_value i depth = function
+    | G.Det s -> value_at i (depth + 1) s
     | G.Chance dist ->
-        List.fold_left (fun acc (p, s) -> acc +. (p *. value_at (depth + 1) s)) 0.0 dist
+        List.fold_left (fun acc (p, s) -> acc +. (p *. value_at i (depth + 1) s)) 0.0 dist
 
-  let value s =
-    solve_start := Obs.Span.now_us ();
-    let v, _ = Obs.Span.time ~observe:M.solve_seconds "mdp.value" (fun () -> value_at 0 s) in
-    v
+  (* Root-call bracketing: arm the per-solve telemetry baselines, then land
+     the instance deltas in the process-wide registry once, at the end. *)
+  let start_solve i =
+    i.solve_start <- Obs.Span.now_us ();
+    i.solve_base_misses <- i.misses
+
+  let publish_delta (before : stats) (after : stats) =
+    Obs.Metrics.add M.memo_hits (after.memo_hits - before.memo_hits);
+    Obs.Metrics.add M.memo_misses (after.memo_misses - before.memo_misses);
+    Obs.Metrics.add M.states (after.states - before.states);
+    Obs.Metrics.max_gauge M.depth (float_of_int after.max_depth)
+
+  let root_call i span_name f =
+    start_solve i;
+    let before = stats_of i in
+    let finish () = publish_delta before (stats_of i) in
+    match Obs.Span.time ~observe:M.solve_seconds span_name f with
+    | v, _ ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+
+  let value s = root_call default "mdp.value" (fun () -> value_at default 0 s)
 
   let best_move s =
-    solve_start := Obs.Span.now_us ();
     match G.moves s with
     | [] -> None
     | ms ->
-        let scored = List.map (fun m -> (transition_value 0 (G.apply s m), m)) ms in
+        root_call default "mdp.best_move" @@ fun () ->
+        let scored =
+          List.map (fun m -> (transition_value default 0 (G.apply s m), m)) ms
+        in
         Log.debug (fun f ->
             f "best_move: %d candidates: %a" (List.length scored)
               (Fmt.list ~sep:Fmt.comma (fun ppf (v, m) ->
@@ -163,11 +208,159 @@ module Make (G : GAME) = struct
             f "best_move: chose %a (value %.6f)" G.pp_move (snd best) (fst best));
         Some (snd best)
 
-  let explored () = H.length memo
+  let explored () = default.states
 
   let reset () =
-    H.reset memo;
-    hits := 0;
-    misses := 0;
-    max_depth := 0
+    Hashtbl.reset default.memo;
+    default.hits <- 0;
+    default.misses <- 0;
+    default.states <- 0;
+    default.max_depth <- 0;
+    (* re-arm the per-solve telemetry too: a reused instance must not
+       compute its second solve's states/sec against the first solve's
+       start time or cumulative miss count *)
+    default.solve_start <- Obs.Span.now_us ();
+    default.solve_base_misses <- 0
+
+  (* ---- parallel solving ------------------------------------------------
+
+     The root frontier: expand the game tree a few plies down (without
+     evaluating), hand the distinct frontier states to the pool — each
+     domain evaluates its share against a private memo table — and fold
+     the frontier values back up through the expanded prefix with exactly
+     the sequential solver's arithmetic (Float.max over moves,
+     left-to-right probability-weighted sum over chance branches). Every
+     frontier value is the exact game value of its state, so the merged
+     root value is bit-identical to the sequential one. *)
+
+  type plan =
+    | P_term of float
+    | P_leaf of int  (* index into the frontier array *)
+    | P_max of plan list
+    | P_exp of (float * plan) list
+
+  type pre =
+    | R_term of float
+    | R_state of G.state * int  (* frontier state at its tree depth *)
+    | R_max of pre list
+    | R_exp of (float * pre) list
+
+  let rec expand depth limit s =
+    match G.moves s with
+    | [] -> R_term (G.terminal_value s)
+    | ms ->
+        if depth >= limit then R_state (s, depth)
+        else
+          R_max
+            (List.map
+               (fun m ->
+                 match G.apply s m with
+                 | G.Det s' -> expand (depth + 1) limit s'
+                 | G.Chance dist ->
+                     R_exp
+                       (List.map
+                          (fun (p, s') -> (p, expand (depth + 1) limit s'))
+                          dist))
+               ms)
+
+  let rec count_states = function
+    | R_term _ -> 0
+    | R_state _ -> 1
+    | R_max ps -> List.fold_left (fun a p -> a + count_states p) 0 ps
+    | R_exp dist -> List.fold_left (fun a (_, p) -> a + count_states p) 0 dist
+
+  (* Deduplicate frontier states by canonical key (several paths reach the
+     same state) and compile the prefix into an index-based plan. *)
+  let compile pre =
+    let index : (string, int) Hashtbl.t = Hashtbl.create 256 in
+    let leaves = ref [] in
+    let n = ref 0 in
+    let rec go = function
+      | R_term v -> P_term v
+      | R_state (s, depth) ->
+          let key = G.encode s in
+          let i =
+            match Hashtbl.find_opt index key with
+            | Some i -> i
+            | None ->
+                let i = !n in
+                Hashtbl.add index key i;
+                leaves := (s, depth) :: !leaves;
+                incr n;
+                i
+          in
+          P_leaf i
+      | R_max ps -> P_max (List.map go ps)
+      | R_exp dist -> P_exp (List.map (fun (p, q) -> (p, go q)) dist)
+    in
+    let plan = go pre in
+    (plan, Array.of_list (List.rev !leaves))
+
+  let rec eval_plan values = function
+    | P_term v -> v
+    | P_leaf i -> values.(i)
+    | P_max ps ->
+        List.fold_left (fun acc p -> Float.max acc (eval_plan values p)) neg_infinity ps
+    | P_exp dist ->
+        List.fold_left
+          (fun acc (p, pl) -> acc +. (p *. eval_plan values pl))
+          0.0 dist
+
+  let frontier ~jobs s =
+    (* deepen until the frontier offers real parallel slack (or stops
+       growing — tiny games go sequential via the plan alone) *)
+    let target = jobs * 8 in
+    let rec go limit prev =
+      let pre = expand 0 limit s in
+      let c = count_states pre in
+      if c >= target || c <= prev || limit >= 16 then pre else go (limit + 2) c
+    in
+    go 2 (-1)
+
+  let value_par ?pool ~jobs s =
+    if jobs <= 1 then value s
+    else
+      root_call default "mdp.value_par" @@ fun () ->
+      let plan, leaves = compile (frontier ~jobs s) in
+      let nleaves = Array.length leaves in
+      Log.info (fun f -> f "value_par: %d frontier states on %d jobs" nleaves jobs);
+      if nleaves = 0 then eval_plan [||] plan
+      else begin
+        (* one private instance per participating domain, created lazily
+           and collected for the stats merge *)
+        let created = ref [] in
+        let created_mutex = Mutex.create () in
+        let dls =
+          Domain.DLS.new_key (fun () ->
+              let inst = make_instance () in
+              Mutex.lock created_mutex;
+              created := inst :: !created;
+              Mutex.unlock created_mutex;
+              inst)
+        in
+        let run_leaves pool =
+          Par.Pool.map pool ~n:nleaves (fun i ->
+              let inst = Domain.DLS.get dls in
+              let s, depth = leaves.(i) in
+              value_at inst depth s)
+        in
+        let values =
+          match pool with
+          | Some pool -> run_leaves pool
+          | None -> Par.Pool.with_pool ~jobs run_leaves
+        in
+        (* Deterministic merge of the per-domain work counters into the
+           calling instance (sum; states explored by several domains count
+           once per domain — parallel work, not distinct-state count). The
+           worker memo tables are dropped here, so a subsequent sequential
+           solve re-explores; parallel roots are for one-shot values. *)
+        List.iter
+          (fun (w : t) ->
+            default.hits <- default.hits + w.hits;
+            default.misses <- default.misses + w.misses;
+            default.states <- default.states + w.states;
+            default.max_depth <- max default.max_depth w.max_depth)
+          !created;
+        eval_plan values plan
+      end
 end

@@ -10,8 +10,8 @@
     programming with memoization (the model must be acyclic, which holds for
     terminating programs; a cycle raises [Cyclic]). *)
 
-(** A game model. States must be pure data: structural equality and
-    [Hashtbl.hash] are used for memoization. *)
+(** A game model. States must be pure data; memoization keys them by the
+    canonical [encode] string. *)
 module type GAME = sig
   type state
   type move
@@ -30,6 +30,13 @@ module type GAME = sig
       only when [moves s = \[\]]. *)
   val terminal_value : state -> float
 
+  (** [encode s] is a canonical key: injective on reachable states (equal
+      states produce equal strings, distinct states distinct strings). The
+      memo table hashes and compares these flat strings instead of
+      traversing the state on every probe — build encoders with {!Key} so
+      injectivity holds by construction. Must be thread-safe (pure). *)
+  val encode : state -> string
+
   val pp_move : Format.formatter -> move -> unit
 end
 
@@ -38,9 +45,10 @@ exception Cyclic
 (** Counters describing one solver instance's work since its last [reset]:
     distinct states memoized, memo-table hits/misses, and the deepest
     recursion reached. Aggregates across all instances also land in
-    [Obs.Metrics] under the [mdp.] prefix, and every root [value] call
-    records an [mdp.value] span (its wall time feeds the
-    [mdp.solve_seconds] histogram). *)
+    [Obs.Metrics] under the [mdp.] prefix — published at the end of each
+    root solve from the calling domain, so parallel workers never touch
+    the registry — and every root [value] call records an [mdp.value]
+    span (its wall time feeds the [mdp.solve_seconds] histogram). *)
 type stats = {
   states : int;
   memo_hits : int;
@@ -55,7 +63,8 @@ val pp_stats : Format.formatter -> stats -> unit
 
 (** A progress report from inside a running solve: the instance's stats so
     far, wall time since the root [value]/[best_move] call, and the
-    evaluation rate (memo misses per second). *)
+    evaluation rate (memo misses {e of this solve} per second — a reused
+    instance does not count earlier solves' work in its rate). *)
 type progress = { stats : stats; elapsed_s : float; states_per_sec : float }
 
 val pp_progress : Format.formatter -> progress -> unit
@@ -71,6 +80,22 @@ val log_src : Logs.src
 module Make (G : GAME) : sig
   (** [value s] is the optimal (adversary-maximal) probability from [s]. *)
   val value : G.state -> float
+
+  (** [value_par ?pool ~jobs s] is [value s] computed on [jobs] domains:
+      the game tree is expanded a few plies to a frontier of distinct
+      subtree roots, each domain solves its share against a private memo
+      table, and the frontier values fold back through the expanded
+      prefix with the sequential solver's exact arithmetic — the result
+      is bit-identical to [value s] at every job count. [jobs <= 1] is
+      exactly [value s]. With [pool] the caller's pool is reused,
+      otherwise a fresh one is created for the call.
+
+      Work counters merge into this instance's [stats] (summed across
+      domains, so states reached by several domains count once per
+      domain); the per-domain memo tables are discarded at the end, so
+      parallel solving suits one-shot root evaluations, not incremental
+      re-solving. Progress hooks do not fire from worker domains. *)
+  val value_par : ?pool:Par.Pool.t -> jobs:int -> G.state -> float
 
   (** [best_move s] is a move achieving [value s]; [None] at terminals. *)
   val best_move : G.state -> G.move option
@@ -89,6 +114,9 @@ module Make (G : GAME) : sig
       [blunting.mdp] source, hook or not. *)
   val set_progress : ?interval_states:int -> (progress -> unit) option -> unit
 
-  (** [reset ()] clears the memo table and zeroes [stats]. *)
+  (** [reset ()] clears the memo table, zeroes [stats], and re-arms the
+      per-solve telemetry baselines (solve start time and the per-solve
+      miss base), so a reused instance reports sane [elapsed_s] and
+      [states_per_sec] on its next solve. *)
   val reset : unit -> unit
 end

@@ -154,6 +154,40 @@ module Game = struct
   let terminal_value s =
     if (s.cread = 0 || s.cread = 1) && s.u1 = s.cread then 1.0 else 0.0
 
+  (* Canonical key: every field once, in declaration order; variants carry
+     a tag byte. Injective by Mdp.Key's construction. *)
+  let encode (s : state) =
+    Mdp.Key.run (fun b ->
+        let int = Mdp.Key.int b in
+        let view (v0, v1) = int v0; int v1 in
+        let cell (c : cell) = int c.v; int c.seq; view c.view in
+        let cells = Mdp.Key.list b (fun _ -> cell) in
+        let scanning (sc : scanning) =
+          Mdp.Key.option b (fun _ -> cells) sc.body.prev;
+          cells sc.body.cur;
+          Mdp.Key.list b (fun _ -> int) sc.body.moved;
+          int sc.idx;
+          Mdp.Key.list b (fun _ -> view) sc.results
+        in
+        let p0 = function
+          | U_atomic remaining -> int 0; int remaining
+          | U_scan { upd; sc } -> int 1; int upd; scanning sc
+          | U_write { upd; view = v } -> int 2; int upd; view v
+          | P0_done -> int 3
+        in
+        let p2 = function
+          | Atomic_scan -> int 0
+          | Scanning sc -> int 1; scanning sc
+          | Read_c -> int 2
+          | P2_done -> int 3
+        in
+        int s.k;
+        cells s.m;
+        p0 s.p0;
+        int s.p1pc;
+        p2 s.p2;
+        int s.u1; int s.coin; int s.creg; int s.cread)
+
   let pp_move ppf (Step p) = Fmt.pf ppf "step(p%d)" p
 end
 
@@ -177,6 +211,6 @@ let init ~k =
   base ~afek:true ~k
 
 let atomic_bad_probability () = S.value (base ~afek:false ~k:1)
-let afek_bad_probability ~k = S.value (init ~k)
+let afek_bad_probability ?(jobs = 1) ~k () = S.value_par ~jobs (init ~k)
 let explored_states () = S.explored ()
 let reset () = S.reset ()

@@ -108,6 +108,32 @@ module Game = struct
   let terminal_value s =
     if (s.cread = 0 || s.cread = 1) && s.u1 = s.cread then 1.0 else 0.0
 
+  (* Canonical key: every field once, in declaration order; variants carry
+     a tag byte. Injective by Mdp.Key's construction. *)
+  let encode (s : state) =
+    Mdp.Key.run (fun b ->
+        let int = Mdp.Key.int b in
+        let cell (v, seq) = int v; int seq in
+        let cells = Mdp.Key.list b (fun _ -> cell) in
+        let p2 = function
+          | Atomic_scan -> int 0
+          | Scanning sc ->
+              int 1;
+              Mdp.Key.option b (fun _ -> cells) sc.body.prev;
+              cells sc.body.cur;
+              int sc.idx;
+              Mdp.Key.list b (fun _ -> int) sc.results
+          | Read_c -> int 2
+          | P2_done -> int 3
+        in
+        int s.k;
+        Mdp.Key.bool b s.afek;
+        cells s.m;
+        Mdp.Key.bool b s.p0_done;
+        int s.p1pc;
+        p2 s.p2;
+        int s.u1; int s.coin; int s.creg; int s.cread)
+
   let pp_move ppf (Step p) = Fmt.pf ppf "step(p%d)" p
 end
 
@@ -132,6 +158,6 @@ let init ~k =
   base ~afek:true ~k
 
 let atomic_bad_probability () = S.value (base ~afek:false ~k:1)
-let afek_bad_probability ~k = S.value (init ~k)
+let afek_bad_probability ?(jobs = 1) ~k () = S.value_par ~jobs (init ~k)
 let explored_states () = S.explored ()
 let reset () = S.reset ()

@@ -33,8 +33,9 @@ val init : k:int -> Game.state
 (** Adversary-optimal bad probability with the atomic snapshot. *)
 val atomic_bad_probability : unit -> float
 
-(** Adversary-optimal bad probability with [Afek Snapshot^k]. *)
-val afek_bad_probability : k:int -> float
+(** Adversary-optimal bad probability with [Afek Snapshot^k]. [jobs]
+    (default 1) solves the root frontier on that many domains. *)
+val afek_bad_probability : ?jobs:int -> k:int -> unit -> float
 
 val explored_states : unit -> int
 val reset : unit -> unit

@@ -314,6 +314,57 @@ module Game = struct
         | _ -> 0.0)
     | _ -> 0.0
 
+  (* Canonical key: every field once, in declaration order; variants carry
+     a tag byte. Injective by Mdp.Key's construction. The solver hashes
+     and compares this flat ~100-byte string on each memo probe instead of
+     traversing the whole nested state. *)
+  let encode (s : state) =
+    Mdp.Key.run (fun b ->
+        let int = Mdp.Key.int b in
+        let obj = function RO -> int 0 | CO -> int 1 in
+        let vts (v, (t, p)) = int v; int t; int p in
+        let iter (it : iter_st) =
+          Mdp.Key.list b (fun _ -> Mdp.Key.bool b) it.queried;
+          int it.got;
+          vts it.best
+        in
+        let phase = function
+          | Query { idx; results; cur } ->
+              int 0; int idx;
+              Mdp.Key.list b (fun _ -> vts) results;
+              iter cur
+          | Choose { results } ->
+              int 1;
+              Mdp.Key.list b (fun _ -> vts) results
+          | Waiting { payload; acks } -> int 2; vts payload; int acks
+        in
+        let op (o : op_st) =
+          obj o.obj;
+          (match o.kind with KRead -> int 0 | KWrite v -> int 1; int v);
+          int o.opseq;
+          phase o.phase
+        in
+        let upd (m : upd_msg) =
+          obj m.obj;
+          vts m.payload;
+          int m.dest;
+          let p, seq = m.origin in
+          int p; int seq
+        in
+        let pstate (p : pstate) =
+          int p.pc;
+          Mdp.Key.option b (fun _ -> op) p.op;
+          Mdp.Key.list b (fun _ -> int) p.reads
+        in
+        int s.k; int s.ns;
+        Mdp.Key.bool b s.atomic_c;
+        Mdp.Key.list b (fun _ -> vts) s.servers_r;
+        Mdp.Key.list b (fun _ -> vts) s.servers_c;
+        List.iter pstate (Tri.to_list s.procs);
+        Mdp.Key.list b (fun _ -> upd) s.upd_out;
+        int s.coin; int s.creg;
+        Mdp.Key.option b Mdp.Key.int s.cread)
+
   let pp_move ppf = function
     | Client p -> Fmt.pf ppf "client(p%d)" p
     | DQuery (p, srv) -> Fmt.pf ppf "query(p%d->s%d)" p srv
@@ -338,8 +389,8 @@ let init ?(atomic_c = true) ?(servers = 3) ~k () : Game.state =
     cread = None;
   }
 
-let bad_probability ?(atomic_c = true) ?(servers = 3) ~k () =
-  S.value (init ~atomic_c ~servers ~k ())
+let bad_probability ?(atomic_c = true) ?(servers = 3) ?(jobs = 1) ~k () =
+  S.value_par ~jobs (init ~atomic_c ~servers ~k ())
 let best_move = S.best_move
 let explored_states () = S.explored ()
 let reset () = S.reset ()

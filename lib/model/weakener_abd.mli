@@ -39,11 +39,14 @@ module Game : Mdp.Solver.GAME
     of [servers]. Requires [k >= 1]. *)
 val init : ?atomic_c:bool -> ?servers:int -> k:k -> unit -> Game.state
 
-(** [bad_probability ?atomic_c ~k ()] solves the game for [ABD^k]: the
-    exact adversary-optimal probability that [p2] loops forever.
+(** [bad_probability ?atomic_c ?jobs ~k ()] solves the game for [ABD^k]:
+    the exact adversary-optimal probability that [p2] loops forever.
     Exponential in [k]; practical for [k <= 4] (atomic [C]) and [k <= 2]
-    (ABD [C]). *)
-val bad_probability : ?atomic_c:bool -> ?servers:int -> k:k -> unit -> float
+    (ABD [C]). [jobs] (default 1) solves the root frontier on that many
+    domains via {!Mdp.Solver.Make.value_par}; the value is bit-identical
+    at every job count. *)
+val bad_probability :
+  ?atomic_c:bool -> ?servers:int -> ?jobs:int -> k:k -> unit -> float
 
 (** [best_move s] is a move attaining the optimal value at [s] (an optimal
     adversary strategy, computable after [bad_probability] filled the memo

@@ -135,6 +135,37 @@ module Game = struct
         | _ -> 0.0)
     | _ -> 0.0
 
+  (* Canonical key: every field once, in declaration order; variants carry
+     a tag byte. Injective by Mdp.Key's construction. *)
+  let encode (s : state) =
+    Mdp.Key.run (fun b ->
+        let int = Mdp.Key.int b in
+        let vts (v, (t, p)) = int v; int t; int p in
+        let phase = function
+          | Collect { idx; results; cur } ->
+              int 0; int idx;
+              Mdp.Key.list b (fun _ -> vts) results;
+              int cur.pos; vts cur.best
+          | Choose { results } ->
+              int 1;
+              Mdp.Key.list b (fun _ -> vts) results
+          | Write_step { payload } -> int 2; vts payload
+        in
+        let pstate (p : pstate) =
+          int p.pc;
+          Mdp.Key.option b
+            (fun _ (o : op_st) ->
+              (match o.kind with KRead -> int 0 | KWrite v -> int 1; int v);
+              phase o.phase)
+            p.op;
+          Mdp.Key.list b (fun _ -> int) p.reads
+        in
+        int s.k;
+        List.iter vts (Tri.to_list s.vals);
+        List.iter pstate (Tri.to_list s.procs);
+        int s.coin; int s.creg;
+        Mdp.Key.option b Mdp.Key.int s.cread)
+
   let pp_move ppf (Step p) = Fmt.pf ppf "step(p%d)" p
 end
 
@@ -151,7 +182,7 @@ let init ~k : Game.state =
     cread = None;
   }
 
-let bad_probability ~k = S.value (init ~k)
+let bad_probability ?(jobs = 1) ~k () = S.value_par ~jobs (init ~k)
 let explored_states () = S.explored ()
 let reset () = S.reset ()
 let solver_stats () = S.stats ()

@@ -22,9 +22,12 @@ module Game : Mdp.Solver.GAME
 (** [init ~k] — requires [k >= 1]. *)
 val init : k:int -> Game.state
 
-(** [bad_probability ~k] is the exact adversary-optimal probability that
-    [p2] loops forever with [VA^k] registers. *)
-val bad_probability : k:int -> float
+(** [bad_probability ?jobs ~k ()] is the exact adversary-optimal
+    probability that [p2] loops forever with [VA^k] registers. [jobs]
+    (default 1) solves the root frontier on that many domains via
+    {!Mdp.Solver.Make.value_par}; the value is bit-identical at every job
+    count. *)
+val bad_probability : ?jobs:int -> k:int -> unit -> float
 
 val explored_states : unit -> int
 val reset : unit -> unit

@@ -1,0 +1,154 @@
+(* Worker domains block on [work]; a parallel region enqueues one task per
+   worker that repeatedly grabs chunks of the index space from a shared
+   cursor. The caller runs the same chunk loop, so all [jobs] domains pull
+   from one queue and the region ends when the cursor is exhausted AND every
+   participant has finished its last chunk (tracked by [active]). *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when a task is enqueued or on shutdown *)
+  queue : task Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work t.mutex
+    done;
+    if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.mutex
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  let ws = t.workers in
+  t.workers <- [];
+  List.iter Domain.join ws
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* A region: a cursor over [0, n), a completion latch, and the first
+   exception any participant hit. *)
+type 'a region = {
+  n : int;
+  chunk : int;
+  next : int Atomic.t;
+  results : 'a array;
+  f : int -> 'a;
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;
+  mutable active : int;  (* participants still inside the chunk loop *)
+  mutable error : exn option;
+}
+
+let chunk_loop r =
+  (try
+     let rec go () =
+       let lo = Atomic.fetch_and_add r.next r.chunk in
+       if lo < r.n && (Mutex.lock r.done_mutex; let e = r.error in Mutex.unlock r.done_mutex; e = None)
+       then begin
+         let hi = min r.n (lo + r.chunk) in
+         for i = lo to hi - 1 do
+           r.results.(i) <- r.f i
+         done;
+         go ()
+       end
+     in
+     go ()
+   with e ->
+     Mutex.lock r.done_mutex;
+     if r.error = None then r.error <- Some e;
+     Mutex.unlock r.done_mutex);
+  Mutex.lock r.done_mutex;
+  r.active <- r.active - 1;
+  if r.active = 0 then Condition.broadcast r.done_cond;
+  Mutex.unlock r.done_mutex
+
+let map t ~n f =
+  if n < 0 then invalid_arg "Par.Pool.map: negative size";
+  if n = 0 then [||]
+  else if t.jobs = 1 || n = 1 then Array.init n f
+  else begin
+    let first = f 0 in
+    let results = Array.make n first in
+    (* hand out several chunks per participant to absorb imbalance without
+       paying cursor contention on every index *)
+    let participants = min t.jobs n in
+    let chunk = max 1 (n / (participants * 4)) in
+    let r =
+      {
+        n;
+        chunk;
+        next = Atomic.make 1 (* index 0 already computed *);
+        results;
+        f;
+        done_mutex = Mutex.create ();
+        done_cond = Condition.create ();
+        active = participants;
+        error = None;
+      }
+    in
+    Mutex.lock t.mutex;
+    for _ = 2 to participants do
+      Queue.add (fun () -> chunk_loop r) t.queue
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    chunk_loop r;
+    Mutex.lock r.done_mutex;
+    while r.active > 0 do
+      Condition.wait r.done_cond r.done_mutex
+    done;
+    let error = r.error in
+    Mutex.unlock r.done_mutex;
+    (match error with Some e -> raise e | None -> ());
+    results
+  end
+
+let iter t ~n f = ignore (map t ~n (fun i : unit -> f i))
+
+let env_jobs () =
+  match Sys.getenv_opt "BLUNTING_JOBS" with
+  | None -> None
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Some j
+    | _ -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some j -> j
+  | None -> Domain.recommended_domain_count ()

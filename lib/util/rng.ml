@@ -20,11 +20,27 @@ let split t =
   let s = bits64 t in
   create (mix (Int64.logxor s 0xA3EC647659359ACDL))
 
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.stream: index must be non-negative";
+  (* one splitmix step over the seed, then a golden-ratio jump per index:
+     distinct (seed, index) pairs land on well-separated states, and the
+     derivation is a pure function of the pair — stream i can be built
+     before, after, or concurrently with stream j *)
+  let s = mix (Int64.add (Int64.of_int seed) golden) in
+  create (mix (Int64.logxor s (Int64.mul golden (Int64.of_int (index + 1)))))
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection sampling (same scheme as Stdlib.Random.int): draw 62
+     uniform bits and retry in the top partial slice, so every residue is
+     equally likely even when n does not divide 2^62 *)
   let mask = Int64.of_int max_int in
-  let v = Int64.to_int (Int64.logand (bits64 t) mask) in
-  v mod n
+  let rec go () =
+    let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let r = v mod n in
+    if v - r > max_int - n + 1 then go () else r
+  in
+  go ()
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
@@ -35,7 +51,14 @@ let float t =
 let pick t xs =
   match xs with
   | [] -> invalid_arg "Rng.pick: empty list"
-  | _ -> List.nth xs (int t (List.length xs))
+  | [ x ] ->
+      ignore (bits64 t);  (* keep the stream in lockstep with the n>1 case *)
+      x
+  | _ ->
+      (* one traversal: materialize once, then O(1) index — List.nth after
+         List.length walked the list half again on average *)
+      let a = Array.of_list xs in
+      a.(int t (Array.length a))
 
 let shuffle t xs =
   let a = Array.of_list xs in

@@ -16,13 +16,26 @@ val of_int : int -> t
 val copy : t -> t
 
 (** [split t] returns a fresh generator whose stream is statistically
-    independent from the remainder of [t]'s. *)
+    independent from the remainder of [t]'s. Splitting advances [t], so
+    sequentially split streams depend on the split order — for
+    order-independent derivation use {!stream}. *)
 val split : t -> t
+
+(** [stream ~seed ~index] is an independent generator derived purely from
+    the [(seed, index)] pair: the same stream results whatever order (or
+    domain) the streams are created in. This is what makes Monte-Carlo
+    trials embarrassingly parallel with bit-identical merged tallies —
+    trial [i] draws from [stream ~seed ~index:i] instead of the [i]-th
+    split of a sequentially-consumed master generator. Requires
+    [index >= 0]. *)
+val stream : seed:int -> index:int -> t
 
 (** [bits64 t] draws 64 uniformly random bits. *)
 val bits64 : t -> int64
 
-(** [int t n] draws uniformly from [0 .. n-1]. Raises [Invalid_argument] when
+(** [int t n] draws uniformly from [0 .. n-1] by rejection sampling (no
+    modulo bias: residues are exactly equiprobable even when [n] does not
+    divide the generator's 2^62 range). Raises [Invalid_argument] when
     [n <= 0]. *)
 val int : t -> int -> int
 
@@ -32,7 +45,9 @@ val bool : t -> bool
 (** [float t] draws uniformly from [0, 1). *)
 val float : t -> float
 
-(** [pick t xs] draws a uniformly random element of the non-empty list. *)
+(** [pick t xs] draws a uniformly random element of the non-empty list in
+    one traversal (always consuming exactly one 64-bit draw when no
+    rejection occurs, regardless of the list's length). *)
 val pick : t -> 'a list -> 'a
 
 (** [shuffle t xs] is a uniformly random permutation of [xs]. *)

@@ -17,6 +17,7 @@ let () =
       ("model-ghw-multi", Test_model.multi_ghw_tests);
       ("model-va", Test_model.va_tests);
       ("adversary", Test_adversary.tests);
+      ("par", Test_par.tests);
       ("obs", Test_obs.tests);
       ("obs-diff", Test_diff.tests);
       ("programs", Test_programs.tests);

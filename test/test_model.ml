@@ -17,6 +17,12 @@ module Toy = struct
     | PickB -> Chance [ (2.0 /. 3.0, Flipped true); (1.0 /. 3.0, Flipped false) ]
 
   let terminal_value = function Flipped true -> 1.0 | _ -> 0.0
+
+  let encode = function
+    | Start -> "s"
+    | Flipped true -> "t"
+    | Flipped false -> "f"
+
   let pp_move ppf _ = Fmt.string ppf "pick"
 end
 
@@ -36,6 +42,7 @@ module Cyclic = struct
   let moves _ = [ Go ]
   let apply s Go = Det (match s with A -> B | B -> A)
   let terminal_value _ = 0.0
+  let encode = function A -> "a" | B -> "b"
   let pp_move ppf Go = Fmt.string ppf "go"
 end
 
@@ -63,6 +70,12 @@ module Depth2 = struct
     | Leaf _ -> assert false
 
   let terminal_value = function Leaf v -> v | _ -> 0.0
+
+  let encode = function
+    | Root -> "r"
+    | Mid i -> "m" ^ string_of_int i
+    | Leaf v -> "l" ^ string_of_float v
+
   let pp_move ppf (M i) = Fmt.pf ppf "m%d" i
 end
 
@@ -180,7 +193,7 @@ let test_ghw_afek_equals_atomic () =
       feq
         (Fmt.str "afek^%d = 1/2" k)
         0.5
-        (Model.Ghw_snapshot_game.afek_bad_probability ~k))
+        (Model.Ghw_snapshot_game.afek_bad_probability ~k ()))
     [ 1; 2; 3 ]
 
 let test_ghw_playout_invariants () =
@@ -218,7 +231,7 @@ let test_multi_ghw_values () =
       feq
         (Fmt.str "multi-update afek^%d = 1/2" k)
         0.5
-        (Model.Ghw_multi_game.afek_bad_probability ~k))
+        (Model.Ghw_multi_game.afek_bad_probability ~k ()))
     [ 1; 2 ]
 
 (* The borrow path really fires: a handcrafted schedule makes p2 observe p0
@@ -265,7 +278,7 @@ let test_va_weakener_atomic_value () =
      condition the linearization order on the coin *)
   List.iter
     (fun k ->
-      feq (Fmt.str "VA^%d = 1/2" k) 0.5 (Model.Weakener_va.bad_probability ~k))
+      feq (Fmt.str "VA^%d = 1/2" k) 0.5 (Model.Weakener_va.bad_probability ~k ()))
     [ 1; 2; 3 ]
 
 (* Scripted playout validating the model's VA semantics: once W1's write
@@ -301,7 +314,7 @@ let test_va_model_semantics () =
   (* u1 = 0 <> coin = 1: bad is impossible, the game is over and lost *)
   Alcotest.(check bool) "pruned terminal" true (Game.moves s = []);
   feq "losing terminal" 0.0 (Game.terminal_value s);
-  feq "value check" 0.5 (bad_probability ~k:1)
+  feq "value check" 0.5 (bad_probability ~k:1 ())
 
 let va_tests =
   [

@@ -279,6 +279,7 @@ module Tiny = struct
     | Gamble -> Chance [ (0.5, s - 1); (0.5, 0) ]
 
   let terminal_value _ = 1.0
+  let encode = string_of_int
   let pp_move ppf m = Fmt.string ppf (match m with Walk -> "walk" | Gamble -> "gamble")
 end
 

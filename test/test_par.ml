@@ -1,0 +1,163 @@
+(* The parallel engine's determinism contract: Monte-Carlo tallies and
+   solver values must be bit-identical at every job count, and the
+   canonical state keys the parallel memo tables rely on must agree with
+   structural equality on reachable states. *)
+
+let exact = Alcotest.(check (float 0.0))
+
+(* ---- Monte-Carlo: per-trial RNG streams make trials order-free ------- *)
+
+let mc_result ~jobs ~seed ~trials config =
+  Adversary.Monte_carlo.estimate ~jobs ~trials ~seed
+    ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad config
+
+let check_mc_identical ~seed ~trials config name =
+  let base = mc_result ~jobs:1 ~seed ~trials config in
+  List.iter
+    (fun jobs ->
+      let r = mc_result ~jobs ~seed ~trials config in
+      Alcotest.(check bool)
+        (Fmt.str "%s: jobs=%d tallies identical to sequential" name jobs)
+        true
+        (r = base))
+    [ 2; 4 ]
+
+let test_mc_parallel_identical () =
+  check_mc_identical ~seed:7 ~trials:240 Programs.Weakener.atomic_config
+    "atomic weakener";
+  check_mc_identical ~seed:20260 ~trials:40 Programs.Weakener.abd_config
+    "ABD weakener"
+
+(* ---- solver: frontier parallel value = sequential value -------------- *)
+
+module Atomic_solver = Mdp.Solver.Make (Model.Weakener_atomic.Game)
+module Abd_solver = Mdp.Solver.Make (Model.Weakener_abd.Game)
+
+let test_par_solver_atomic () =
+  let seq = Atomic_solver.value Model.Weakener_atomic.init in
+  exact "atomic sequential value" 0.5 seq;
+  List.iter
+    (fun jobs ->
+      exact
+        (Fmt.str "atomic value_par jobs=%d" jobs)
+        seq
+        (Atomic_solver.value_par ~jobs Model.Weakener_atomic.init))
+    [ 1; 2; 4 ]
+
+let test_par_solver_abd1 () =
+  let s = Model.Weakener_abd.init ~k:1 () in
+  let seq = Abd_solver.value s in
+  exact "ABD^1 sequential value" 1.0 seq;
+  List.iter
+    (fun jobs ->
+      exact (Fmt.str "ABD^1 value_par jobs=%d" jobs) seq
+        (Abd_solver.value_par ~jobs s))
+    [ 2; 4 ]
+
+(* ---- canonical keys agree with structural equality ------------------- *)
+
+(* BFS the reachable states (capped) and require a bijection between
+   structurally distinct states and distinct encode strings: an encode
+   collision between structurally different states would silently merge
+   them in the memo table; a split would only cost speed, but betrays a
+   non-canonical encoder. *)
+let check_encode (type s) (module G : Mdp.Solver.GAME with type state = s)
+    ~(init : s) ~cap name =
+  let by_key : (string, s) Hashtbl.t = Hashtbl.create 1024 in
+  let seen : (s, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  Queue.add init queue;
+  while (not (Queue.is_empty queue)) && Hashtbl.length seen < cap do
+    let s = Queue.pop queue in
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      let key = G.encode s in
+      Alcotest.(check string)
+        (Fmt.str "%s: encode is deterministic" name)
+        key (G.encode s);
+      (match Hashtbl.find_opt by_key key with
+      | Some s' ->
+          if s' <> s then
+            Alcotest.failf "%s: encode collision between distinct states" name
+      | None -> Hashtbl.add by_key key s);
+      List.iter
+        (fun m ->
+          match G.apply s m with
+          | G.Det s' -> Queue.add s' queue
+          | G.Chance dist -> List.iter (fun (_, s') -> Queue.add s' queue) dist)
+        (G.moves s)
+    end
+  done;
+  Alcotest.(check int)
+    (Fmt.str "%s: one key per distinct state (%d states)" name
+       (Hashtbl.length seen))
+    (Hashtbl.length seen) (Hashtbl.length by_key)
+
+let test_encode_canonical () =
+  check_encode
+    (module Model.Weakener_atomic.Game)
+    ~init:Model.Weakener_atomic.init ~cap:10_000 "weakener_atomic";
+  check_encode
+    (module Model.Weakener_abd.Game)
+    ~init:(Model.Weakener_abd.init ~k:1 ())
+    ~cap:4_000 "weakener_abd";
+  check_encode
+    (module Model.Weakener_va.Game)
+    ~init:(Model.Weakener_va.init ~k:1)
+    ~cap:4_000 "weakener_va";
+  check_encode
+    (module Model.Ghw_snapshot_game.Game)
+    ~init:(Model.Ghw_snapshot_game.init ~k:1)
+    ~cap:4_000 "ghw_snapshot";
+  check_encode
+    (module Model.Ghw_multi_game.Game)
+    ~init:(Model.Ghw_multi_game.init ~k:1)
+    ~cap:4_000 "ghw_multi"
+
+(* ---- the pool itself ------------------------------------------------- *)
+
+let test_pool_map_positional () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let a = Par.Pool.map pool ~n:1000 (fun i -> i * i) in
+      Alcotest.(check int) "length" 1000 (Array.length a);
+      Array.iteri
+        (fun i v -> if v <> i * i then Alcotest.failf "a.(%d) = %d" i v)
+        a)
+
+let test_pool_propagates_exception () =
+  Par.Pool.with_pool ~jobs:2 (fun pool ->
+      match Par.Pool.map pool ~n:100 (fun i -> if i = 57 then failwith "boom" else i) with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
+
+let test_rng_stream_pure () =
+  (* streams are pure functions of (seed, index): re-derivation agrees,
+     and distinct indices give distinct streams *)
+  let draw ~seed ~index =
+    let r = Util.Rng.stream ~seed ~index in
+    List.init 8 (fun _ -> Util.Rng.int r 1_000_000)
+  in
+  Alcotest.(check (list int))
+    "re-derived stream identical" (draw ~seed:42 ~index:3) (draw ~seed:42 ~index:3);
+  Alcotest.(check bool)
+    "adjacent indices differ" true
+    (draw ~seed:42 ~index:3 <> draw ~seed:42 ~index:4);
+  Alcotest.(check bool)
+    "seeds differ" true
+    (draw ~seed:42 ~index:3 <> draw ~seed:43 ~index:3)
+
+let tests =
+  [
+    Alcotest.test_case "MC tallies identical at jobs 1/2/4" `Quick
+      test_mc_parallel_identical;
+    Alcotest.test_case "value_par = value (atomic game)" `Quick
+      test_par_solver_atomic;
+    Alcotest.test_case "value_par = value (ABD^1)" `Slow test_par_solver_abd1;
+    Alcotest.test_case "encode agrees with structural equality" `Quick
+      test_encode_canonical;
+    Alcotest.test_case "pool map is positional" `Quick test_pool_map_positional;
+    Alcotest.test_case "pool re-raises worker exceptions" `Quick
+      test_pool_propagates_exception;
+    Alcotest.test_case "Rng.stream is pure in (seed, index)" `Quick
+      test_rng_stream_pure;
+  ]
