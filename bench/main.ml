@@ -104,6 +104,12 @@ let options =
     skip_bechamel = !skip_bechamel;
   }
 
+(* One shared domain pool for the whole bench run, installed (and always
+   joined, even when a section raises) by [Par.Pool.with_pool] in the
+   main entry below. [None] at jobs 1: everything runs sequentially and
+   no domain is ever spawned. *)
+let pool : Par.Pool.t option ref = ref None
+
 let runs id =
   match options.only with
   | None -> true
@@ -139,7 +145,7 @@ let e1_atomic () =
   let r = Report.section ~id:"E1" ~title:"Appendix A.1 — weakener with atomic registers" () in
   let v, dt = time "E1 solve atomic" Model.Weakener_atomic.bad_probability in
   let mc =
-    Adversary.Monte_carlo.estimate ~jobs:options.jobs ~trials:2_000 ~seed:101
+    Adversary.Monte_carlo.estimate ?pool:!pool ~jobs:options.jobs ~trials:2_000 ~seed:101
       ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
       Programs.Weakener.atomic_config
   in
@@ -166,7 +172,7 @@ let e2_abd () =
   let wins = Adversary.Figure1.always_wins () in
   let v, dt, st =
     timed_solve "E2 solve ABD k=1" (fun () ->
-        Model.Weakener_abd.bad_probability ~jobs:options.jobs ~k:1 ())
+        Model.Weakener_abd.bad_probability ?pool:!pool ~jobs:options.jobs ~k:1 ())
   in
   Report.row r ~quantity:"Figure 1 adversary vs simulated ABD"
     ~paper:"wins for both coin values"
@@ -233,7 +239,7 @@ let e3_abd2 () =
   Model.Weakener_abd.reset ();
   let v, dt, st =
     timed_solve "E3 solve ABD k=2" (fun () ->
-        Model.Weakener_abd.bad_probability ~jobs:options.jobs ~k:2 ())
+        Model.Weakener_abd.bad_probability ?pool:!pool ~jobs:options.jobs ~k:2 ())
   in
   let generic = Core.Bound.weakener_instance ~k:2 in
   Report.row r ~quantity:"generic bound on Prob[p2 loops] (Thm 4.2)" ~paper:"7/8 = 0.875"
@@ -335,7 +341,7 @@ let e5_convergence () =
   for k = 1 to kmax do
     let v, dt, st =
       timed_solve (Fmt.str "E5 solve ABD k=%d" k) (fun () ->
-          Model.Weakener_abd.bad_probability ~jobs:options.jobs ~k ())
+          Model.Weakener_abd.bad_probability ?pool:!pool ~jobs:options.jobs ~k ())
     in
     let law = (float_of_int (k * k) +. 1.0) /. (2.0 *. float_of_int (k * k)) in
     Report.table_row r
@@ -687,7 +693,7 @@ let e10_snapshot_game () =
       add
         (Fmt.str "Afek et al., Snapshot^%d" k)
         ~paper:"1/2 (negative result: no amplification)"
-        (Model.Ghw_snapshot_game.afek_bad_probability ~jobs:options.jobs ~k ()))
+        (Model.Ghw_snapshot_game.afek_bad_probability ?pool:!pool ~jobs:options.jobs ~k ()))
     [ 1; 2; 4 ];
   Report.finish r;
   Fmt.pr
@@ -703,7 +709,7 @@ let e10_snapshot_game () =
     (fun k ->
       Table.add_row t2
         [ Fmt.str "Afek et al., Snapshot^%d" k;
-          Fmt.str "%.6f" (Model.Ghw_multi_game.afek_bad_probability ~jobs:options.jobs ~k ()) ])
+          Fmt.str "%.6f" (Model.Ghw_multi_game.afek_bad_probability ?pool:!pool ~jobs:options.jobs ~k ()) ])
     [ 1; 2 ];
   Table.print t2;
   Fmt.pr
@@ -722,7 +728,7 @@ let e11_va_weakener () =
   in
   List.iter
     (fun k ->
-      let v = Model.Weakener_va.bad_probability ~jobs:options.jobs ~k () in
+      let v = Model.Weakener_va.bad_probability ?pool:!pool ~jobs:options.jobs ~k () in
       let law = (float_of_int (k * k) +. 1.0) /. (2.0 *. float_of_int (k * k)) in
       Report.table_row r
         [ string_of_int k; Fmt.str "%.6f" v; Fmt.str "%.6f" law ];
@@ -752,13 +758,18 @@ let par_speedup () =
       ~title:(Fmt.str "Parallel engine — sequential vs %d jobs" jobs)
       ~headers:[ "workload"; "seq"; "par"; "speedup"; "identical" ] ()
   in
-  let mc j =
-    Adversary.Monte_carlo.estimate ~jobs:j ~trials:4_000 ~seed:2026
+  let mc ?pool j =
+    Adversary.Monte_carlo.estimate ?pool ~jobs:j ~trials:4_000 ~seed:2026
       ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
       Programs.Weakener.atomic_config
   in
   let mc_seq, t_mseq = time "PAR mc seq" (fun () -> mc 1) in
-  let mc_par, t_mpar = time "PAR mc par" (fun () -> mc jobs) in
+  (* The parallel legs run on their own [with_pool]-scoped pool: this
+     section may use more domains than the session-wide --jobs pool. *)
+  let mc_par, t_mpar =
+    time "PAR mc par" (fun () ->
+        Par.Pool.with_pool ~jobs (fun pool -> mc ~pool jobs))
+  in
   let mc_same = mc_seq = mc_par in
   Model.Weakener_abd.reset ();
   let v_seq, t_sseq =
@@ -767,7 +778,8 @@ let par_speedup () =
   Model.Weakener_abd.reset ();
   let v_par, t_spar =
     time "PAR solve par" (fun () ->
-        Model.Weakener_abd.bad_probability ~jobs ~k:2 ())
+        Par.Pool.with_pool ~jobs (fun pool ->
+            Model.Weakener_abd.bad_probability ~pool ~jobs ~k:2 ()))
   in
   let solve_same = Float.equal v_seq v_par in
   let speedup seq par = if par > 0.0 then seq /. par else 1.0 in
@@ -927,7 +939,16 @@ let () =
       ("PAR", par_speedup);
     ]
   in
-  List.iter (fun (id, f) -> if runs id then f ()) sections;
+  (* All sections share one pool (installed in [pool]); with_pool joins
+     its domains even if a section raises mid-run. *)
+  let run_sections () =
+    List.iter (fun (id, f) -> if runs id then f ()) sections
+  in
+  if options.jobs > 1 then
+    Par.Pool.with_pool ~jobs:options.jobs (fun p ->
+        pool := Some p;
+        Fun.protect ~finally:(fun () -> pool := None) run_sections)
+  else run_sections ();
   if (not options.skip_bechamel) && runs "BENCH" then bechamel ();
   (match options.json_path with
   | Some path -> Report.write_json ~path

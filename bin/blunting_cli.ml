@@ -9,6 +9,8 @@
      blunting trace --registers abd -o weakener.trace.json
      blunting metrics --workload mc --json
      blunting bench-diff BASELINE.json CURRENT.json
+     blunting fuzz --seed 42 --budget 10000 --jobs 4
+     blunting fuzz --replay test/corpus/fuzz-lin-s7-i0.json
 
    Every subcommand accepts --verbosity LEVEL (quiet|app|error|warning|
    info|debug) to surface the structured logs of the blunting.sim,
@@ -448,6 +450,93 @@ let bench_diff_cmd =
       const run $ verbosity_term $ baseline_arg $ current_arg $ paper_tol_arg
       $ value_rtol_arg $ time_rtol_arg $ no_spans_arg)
 
+(* ---- fuzz ----------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Session seed. With an iteration budget the whole session — \
+             cases, schedules, failures, corpus files — is a pure function \
+             of the seed.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt string "10000"
+      & info [ "budget" ] ~docv:"BUDGET"
+          ~doc:
+            "Fuzzing budget: an iteration count ($(b,10000)) or a duration \
+             ($(b,300s), $(b,5m)). Durations trade determinism for \
+             wall-clock control.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:"Write one replayable corpus file per shrunk failure to $(docv).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a single corpus file instead of fuzzing and check its \
+             recorded expectation.")
+  in
+  let planted_arg =
+    Arg.(
+      value & flag
+      & info [ "planted" ]
+          ~doc:
+            "Plant a known linearizability bug (ABD without read write-back) \
+             in every case; used to exercise the shrinker and corpus paths.")
+  in
+  let dist_trials_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "dist-trials" ] ~docv:"N"
+          ~doc:"Monte-Carlo trials per side for the distribution oracle.")
+  in
+  let run () seed budget corpus_dir replay planted dist_trials jobs =
+    match replay with
+    | Some path -> (
+        match Fuzz.Engine.replay_file path with
+        | Ok msg ->
+            Fmt.pr "%s@." msg;
+            exit 0
+        | Error msg ->
+            Fmt.epr "%s@." msg;
+            exit 1)
+    | None -> (
+        match Fuzz.Engine.parse_budget budget with
+        | Error e ->
+            Fmt.epr "%s@." e;
+            exit 2
+        | Ok budget ->
+            let summary =
+              Fuzz.Engine.run ~jobs ?corpus_dir ~planted ~dist_trials ~seed
+                ~budget ()
+            in
+            Fmt.pr "%a" Fuzz.Engine.pp_summary summary;
+            exit (if Fuzz.Engine.has_failures summary then 1 else 0))
+  in
+  let doc =
+    "Fuzz the simulator against its four oracles: per-object \
+     linearizability of every generated history, lockstep conformance with \
+     the weakener game model, ABD-vs-ABD$(b,^k) outcome-distribution \
+     compatibility (Theorem 4.1) and seq-vs-par identity. Failures are \
+     shrunk to a minimal schedule prefix and written as replayable corpus \
+     files. Exits 1 if any oracle failed."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ verbosity_term $ seed_arg $ budget_arg $ corpus_arg
+      $ replay_arg $ planted_arg $ dist_trials_arg $ jobs_term)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -469,4 +558,5 @@ let () =
             trace_cmd;
             metrics_cmd;
             bench_diff_cmd;
+            fuzz_cmd;
           ]))

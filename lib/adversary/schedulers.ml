@@ -33,3 +33,33 @@ let eager_delivery _t evs =
 
 let prefer_process p fallback t evs =
   if List.mem (Runtime.Step p) evs then Runtime.Step p else fallback t evs
+
+let of_codes ?fallback codes =
+  let pos = ref 0 in
+  fun t evs ->
+    if !pos >= Array.length codes then
+      match fallback with
+      | Some f -> f t evs
+      | None -> List.hd evs
+    else begin
+      let code = codes.(!pos) in
+      incr pos;
+      List.nth evs (abs code mod List.length evs)
+    end
+
+let lazy_delivery rng _t evs =
+  let steps = List.filter (function Runtime.Step _ -> true | _ -> false) evs in
+  let pool = if steps = [] then evs else steps in
+  Util.Rng.pick rng pool
+
+let recording policy rng recorded t evs =
+  let e = policy rng t evs in
+  let i =
+    let rec index j = function
+      | [] -> invalid_arg "Schedulers.recording: policy chose a disabled event"
+      | e' :: rest -> if e' = e then j else index (j + 1) rest
+    in
+    index 0 evs
+  in
+  recorded := i :: !recorded;
+  e

@@ -1,0 +1,215 @@
+module M = struct
+  open Obs.Metrics
+
+  let cases = counter ~help:"fuzz cases executed" "fuzz.cases"
+  let failures = counter ~help:"oracle failures found" "fuzz.failures"
+
+  let shrink_attempts =
+    counter ~help:"shrinker predicate evaluations" "fuzz.shrink_attempts"
+end
+
+type budget = Iterations of int | Seconds of float
+
+let parse_budget s =
+  let s = String.trim s in
+  let dur mult digits =
+    match int_of_string_opt digits with
+    | Some v when v >= 0 -> Ok (Seconds (float_of_int v *. mult))
+    | _ -> Error (Fmt.str "invalid budget %S" s)
+  in
+  if s = "" then Error "empty budget"
+  else
+    match s.[String.length s - 1] with
+    | 's' -> dur 1.0 (String.sub s 0 (String.length s - 1))
+    | 'm' -> dur 60.0 (String.sub s 0 (String.length s - 1))
+    | 'h' -> dur 3600.0 (String.sub s 0 (String.length s - 1))
+    | _ -> (
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok (Iterations n)
+        | _ -> Error (Fmt.str "invalid budget %S" s))
+
+let pp_budget ppf = function
+  | Iterations n -> Fmt.pf ppf "%d iterations" n
+  | Seconds sec -> Fmt.pf ppf "%gs" sec
+
+type summary = {
+  seed : int;
+  iterations : int;
+  lin_checks : int;
+  model_checks : int;
+  dist_checks : int;
+  par_checks : int;
+  failures : Oracle.failure list;
+  corpus_files : string list;
+}
+
+let has_failures s = s.failures <> []
+
+let pp_summary ppf s =
+  Fmt.pf ppf "fuzz seed=%d iterations=%d@." s.seed s.iterations;
+  Fmt.pf ppf "  oracle checks: lin=%d model=%d dist=%d par=%d@." s.lin_checks
+    s.model_checks s.dist_checks s.par_checks;
+  (match s.failures with
+  | [] -> Fmt.pf ppf "  failures: none@."
+  | fs ->
+      Fmt.pf ppf "  failures: %d@." (List.length fs);
+      List.iter (fun f -> Fmt.pf ppf "    %a@." Oracle.pp_failure f) fs);
+  match s.corpus_files with
+  | [] -> ()
+  | files ->
+      Fmt.pf ppf "  corpus files:@.";
+      List.iter (fun p -> Fmt.pf ppf "    %s@." p) files
+
+(* Every [lockstep_every]-th iteration also runs the model-conformance
+   oracle; per-case work stays bounded while a 10k-iteration smoke still
+   performs 2.5k lockstep playouts. *)
+let lockstep_every = 4
+
+(* One iteration: generate the case, execute it under the recording
+   scheduler, evaluate the per-case oracles. Pure in (seed, iter,
+   planted), so iterations can run on any pool domain. *)
+let iteration ~seed ~planted iter =
+  let case = Case.generate ~planted (Oracle.case_stream ~seed ~iter) in
+  let t, codes = Oracle.run_recorded ~seed ~iter case in
+  Obs.Metrics.incr M.cases;
+  let lin =
+    match Oracle.lin_check case t with
+    | Ok () -> None
+    | Error detail ->
+        Some
+          {
+            Oracle.oracle = "lin";
+            seed;
+            iter;
+            case = Some case;
+            schedule = codes;
+            detail;
+          }
+  in
+  let model =
+    if iter mod lockstep_every = 0 then Oracle.model_lockstep ~seed ~iter
+    else None
+  in
+  (lin, model)
+
+let shrink_failure ~seed (f : Oracle.failure) =
+  match (f.oracle, f.case) with
+  | "lin", Some case ->
+      let fails codes = Oracle.lin_fails ~seed ~iter:f.iter case codes in
+      let schedule = Shrink.minimize ~fails f.schedule in
+      Obs.Metrics.add M.shrink_attempts (Shrink.attempts_used ());
+      { f with schedule }
+  | _ -> f
+
+let run ?(jobs = 1) ?corpus_dir ?(planted = false) ?(dist_trials = 400)
+    ?(max_failures = 10) ~seed ~budget () =
+  Par.Pool.with_pool ~jobs @@ fun pool ->
+  let deadline =
+    match budget with
+    | Iterations _ -> None
+    | Seconds sec -> Some ((Obs.Span.now_us () /. 1e6) +. sec)
+  in
+  let total = match budget with Iterations n -> n | Seconds _ -> max_int in
+  let failures = ref [] (* newest first *) in
+  let nfailures = ref 0 in
+  let lin_checks = ref 0 in
+  let model_checks = ref 0 in
+  let iter = ref 0 in
+  let stop = ref false in
+  let batch_size = 128 in
+  while
+    (not !stop) && !iter < total
+    && Option.fold ~none:true
+         ~some:(fun d -> Obs.Span.now_us () /. 1e6 < d)
+         deadline
+  do
+    let b = min batch_size (total - !iter) in
+    let base = !iter in
+    let results =
+      Par.Pool.map pool ~n:b (fun j -> iteration ~seed ~planted (base + j))
+    in
+    Array.iteri
+      (fun j (lin, model) ->
+        incr lin_checks;
+        if (base + j) mod lockstep_every = 0 then incr model_checks;
+        List.iter
+          (fun failure ->
+            match failure with
+            | None -> ()
+            | Some f ->
+                failures := f :: !failures;
+                incr nfailures;
+                Obs.Metrics.incr M.failures)
+          [ lin; model ])
+      results;
+    iter := !iter + b;
+    if !nfailures >= max_failures then stop := true
+  done;
+  (* Session oracles: distribution compatibility (Theorem 4.1) and
+     seq-vs-par identity. Run on the calling domain, after the sweep, so
+     their Monte-Carlo batches can reuse the pool. *)
+  let dist_failure = Oracle.dist ~pool ~seed ~trials:dist_trials ~k:2 () in
+  let par_failure = Oracle.par_identity ~seed ~trials:200 () in
+  List.iter
+    (function
+      | None -> ()
+      | Some f ->
+          failures := f :: !failures;
+          Obs.Metrics.incr M.failures)
+    [ dist_failure; par_failure ];
+  let shrunk = List.rev_map (shrink_failure ~seed) !failures in
+  let corpus_files =
+    match corpus_dir with
+    | None -> []
+    | Some dir ->
+        List.map
+          (fun (f : Oracle.failure) ->
+            Corpus.write ~dir
+              {
+                Corpus.seed;
+                iter = f.iter;
+                oracle = f.oracle;
+                case = f.case;
+                schedule = f.schedule;
+                expect = Corpus.Fail;
+                detail = f.detail;
+              })
+          shrunk
+  in
+  {
+    seed;
+    iterations = !iter;
+    lin_checks = !lin_checks;
+    model_checks = !model_checks;
+    dist_checks = 1;
+    par_checks = 1;
+    failures = shrunk;
+    corpus_files;
+  }
+
+(* ---- corpus replay --------------------------------------------------- *)
+
+let replay_entry (e : Corpus.t) =
+  let failed =
+    match (e.oracle, e.case) with
+    | "lin", Some case ->
+        Oracle.lin_fails ~seed:e.seed ~iter:e.iter case e.schedule
+    | "model", _ ->
+        Oracle.model_lockstep ~seed:e.seed ~iter:e.iter <> None
+    | "dist", _ -> Oracle.dist ~seed:e.seed ~trials:400 ~k:2 () <> None
+    | "par", _ -> Oracle.par_identity ~seed:e.seed ~trials:200 () <> None
+    | oracle, _ -> Fmt.failwith "corpus entry with unknown oracle %S" oracle
+  in
+  match (e.expect, failed) with
+  | Corpus.Fail, true ->
+      Ok (Fmt.str "reproduced expected failure: %a" Corpus.pp e)
+  | Corpus.Pass, false -> Ok (Fmt.str "passed as expected: %a" Corpus.pp e)
+  | Corpus.Fail, false ->
+      Error (Fmt.str "expected failure did not reproduce: %a" Corpus.pp e)
+  | Corpus.Pass, true ->
+      Error (Fmt.str "regression: previously passing entry fails: %a" Corpus.pp e)
+
+let replay_file path =
+  match Corpus.read path with
+  | Error e -> Error (Fmt.str "%s: %s" path e)
+  | Ok entry -> replay_entry entry

@@ -1,0 +1,299 @@
+open Util
+
+let log_src = Logs.Src.create "blunting.fuzz" ~doc:"Fuzzing engine events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type failure = {
+  oracle : string;
+  seed : int;
+  iter : int;
+  case : Case.t option;
+  schedule : int array;
+  detail : string;
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf "[%s] seed %d iter %d%a: %s (schedule length %d)" f.oracle f.seed
+    f.iter
+    (Fmt.option (fun ppf c -> Fmt.pf ppf " %a" Case.pp c))
+    f.case f.detail
+    (Array.length f.schedule)
+
+(* Stream indices: iteration [i] owns indices [4i .. 4i+3] — case
+   generation, scheduler, random tape, lockstep playout — so no two
+   consumers of the seed ever share a stream. *)
+let case_stream ~seed ~iter = Rng.stream ~seed ~index:(4 * iter)
+let sched_stream ~seed ~iter = Rng.stream ~seed ~index:((4 * iter) + 1)
+let tape_stream ~seed ~iter = Rng.stream ~seed ~index:((4 * iter) + 2)
+let lockstep_stream ~seed ~iter = Rng.stream ~seed ~index:((4 * iter) + 3)
+
+let run_recorded ~seed ~iter case =
+  let t =
+    Sim.Runtime.create (Case.config case)
+      (Sim.Runtime.Gen (tape_stream ~seed ~iter))
+  in
+  let recorded = ref [] in
+  let rng = sched_stream ~seed ~iter in
+  (* Half the runs schedule uniformly, half procrastinate deliveries —
+     the adversary style that exposes stale-read protocol bugs. The
+     recorded codes are policy-agnostic, so replay needs no flag. *)
+  let policy =
+    if Rng.int rng 2 = 0 then Adversary.Schedulers.uniform
+    else Adversary.Schedulers.lazy_delivery
+  in
+  let scheduler = Adversary.Schedulers.recording policy rng recorded in
+  (match Sim.Runtime.run t ~max_steps:(Case.max_steps case) scheduler with
+  | Sim.Runtime.Completed -> ()
+  | r ->
+      Log.warn (fun m ->
+          m "fuzz case %a: run %a" Case.pp case Sim.Runtime.pp_run_result r));
+  (t, Array.of_list (List.rev !recorded))
+
+let replay ~seed ~iter case codes =
+  let t =
+    Sim.Runtime.create (Case.config case)
+      (Sim.Runtime.Gen (tape_stream ~seed ~iter))
+  in
+  let pos = ref 0 in
+  let guide _t evs =
+    if !pos >= Array.length codes then None
+    else begin
+      let code = codes.(!pos) in
+      incr pos;
+      Some (List.nth evs (abs code mod List.length evs))
+    end
+  in
+  ignore (Sim.Runtime.run_guided t ~max_steps:(Array.length codes) guide);
+  t
+
+(* ---- oracle 1: linearizability -------------------------------------- *)
+
+let lin_check case t =
+  Lin.Multi.check_local_result (Case.specs case) (Sim.Runtime.history t)
+
+let lin_fails ~seed ~iter case codes =
+  match lin_check case (replay ~seed ~iter case codes) with
+  | Ok () -> false
+  | Error _ -> true
+
+(* ---- oracle 3: model conformance (lockstep) ------------------------- *)
+
+(* The atomic weakener is the one configuration where model and simulator
+   share a step granularity: every [Model.Weakener_atomic] move is one
+   register access or coin flip, which the simulator performs as exactly
+   one significant trace entry (plus invisible call/return bookkeeping).
+   We drive a random playout of the game and mirror each move in the
+   simulator, then abstract the simulator state back into a game state
+   and compare canonical [encode] keys. *)
+
+module G = Model.Weakener_atomic.Game
+
+let rid_r = Sim.Base_reg.id ~obj_name:"R" "cell"
+let rid_c = Sim.Base_reg.id ~obj_name:"C" "cell"
+
+let value_to_model = function Value.Int i -> i | _ -> -1
+
+let significant_count t p =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Sim.Trace.Reg_read { proc; _ }
+      | Sim.Trace.Reg_write { proc; _ }
+      | Sim.Trace.Randomized { proc; _ }
+        when proc = p ->
+          acc + 1
+      | _ -> acc)
+    0
+    (Sim.Trace.entries (Sim.Runtime.trace t))
+
+(* Advance process [p] through marker/label micro-steps until it performs
+   its next register access or coin flip. *)
+let advance_significant t p =
+  let before = significant_count t p in
+  let budget = ref 64 in
+  while significant_count t p = before do
+    decr budget;
+    if !budget < 0 then failwith "lockstep: process stuck without access";
+    Sim.Runtime.step t (Sim.Runtime.Step p)
+  done
+
+let abstract t : G.state =
+  let entries = Sim.Trace.entries (Sim.Runtime.trace t) in
+  let p2_reads =
+    List.filter_map
+      (function
+        | Sim.Trace.Reg_read { proc = 2; reg; value; _ } -> Some (reg, value)
+        | _ -> None)
+      entries
+  in
+  let r_reads =
+    List.filter_map
+      (fun (reg, v) -> if reg = rid_r then Some (value_to_model v) else None)
+      p2_reads
+  in
+  let c_reads =
+    List.filter_map
+      (fun (reg, v) -> if reg = rid_c then Some (value_to_model v) else None)
+      p2_reads
+  in
+  let nth_opt xs i = List.nth_opt xs i in
+  let coin =
+    match
+      List.find_map
+        (function
+          | Sim.Trace.Randomized { proc = 1; result; _ } -> Some result
+          | _ -> None)
+        entries
+    with
+    | Some c -> c
+    | None -> -1
+  in
+  {
+    G.r = value_to_model (Sim.Runtime.read_register t rid_r);
+    c = value_to_model (Sim.Runtime.read_register t rid_c);
+    pc0 = significant_count t 0;
+    pc1 = significant_count t 1;
+    pc2 = significant_count t 2;
+    coin;
+    u1 = nth_opt r_reads 0;
+    u2 = nth_opt r_reads 1;
+    cread = nth_opt c_reads 0;
+  }
+
+let hex s =
+  String.to_seq s
+  |> Seq.map (fun ch -> Printf.sprintf "%02x" (Char.code ch))
+  |> List.of_seq |> String.concat ""
+
+let model_lockstep ~seed ~iter =
+  let rng = lockstep_stream ~seed ~iter in
+  let coin = Rng.int rng 2 in
+  let t =
+    Sim.Runtime.create
+      (Programs.Weakener.atomic_config ())
+      (Sim.Runtime.Tape [| coin |])
+  in
+  let fail detail =
+    Some
+      { oracle = "model"; seed; iter; case = None; schedule = [||]; detail }
+  in
+  let rec play s step =
+    match G.moves s with
+    | [] ->
+        (* Mop up the simulator's trailing return/label micro-steps, then
+           compare terminal classifications. *)
+        (match
+           Sim.Runtime.run t ~max_steps:1_000 (fun _t evs -> List.hd evs)
+         with
+        | Sim.Runtime.Completed -> ()
+        | r ->
+            Fmt.failwith "lockstep mop-up: %a" Sim.Runtime.pp_run_result r);
+        let sim_bad = Programs.Weakener.bad (Sim.Runtime.outcome t) in
+        let model_bad = G.terminal_value s = 1.0 in
+        if sim_bad <> model_bad then
+          fail
+            (Fmt.str
+               "terminal disagreement after %d moves: sim bad=%b, model bad=%b"
+               step sim_bad model_bad)
+        else None
+    | moves -> (
+        let (G.Step p as move) = Rng.pick rng moves in
+        let s' =
+          match G.apply s move with
+          | G.Det s' -> s'
+          | G.Chance dist -> (
+              match
+                List.find_opt (fun (_, (c : G.state)) -> c.G.coin = coin) dist
+              with
+              | Some (_, s') -> s'
+              | None ->
+                  Fmt.invalid_arg "lockstep: no chance branch with coin %d"
+                    coin)
+        in
+        match advance_significant t p with
+        | exception e ->
+            fail
+              (Fmt.str "move %d (%a): simulator exception %s" step G.pp_move
+                 move (Printexc.to_string e))
+        | () ->
+            let sim_key = G.encode (abstract t) in
+            let model_key = G.encode s' in
+            if not (String.equal sim_key model_key) then
+              fail
+                (Fmt.str
+                   "key mismatch at move %d (%a): sim %s vs model %s"
+                   step G.pp_move move (hex sim_key) (hex model_key))
+            else play s' (step + 1))
+  in
+  play Model.Weakener_atomic.init 0
+
+(* ---- oracle 2: O^k vs O outcome distributions ----------------------- *)
+
+let dist ?pool ~seed ~trials ~k () =
+  let estimate ~seed config =
+    Adversary.Monte_carlo.estimate ?pool ~trials ~seed
+      ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
+      config
+  in
+  let base = estimate ~seed Programs.Weakener.abd_config in
+  let transformed =
+    estimate ~seed:(seed + 1_000_003) (fun () ->
+        Programs.Weakener.abd_k_config ~k)
+  in
+  if
+    Stats.binomial_compatible ~successes1:base.bad ~trials1:trials
+      ~successes2:transformed.bad ~trials2:trials
+  then None
+  else
+    Some
+      {
+        oracle = "dist";
+        seed;
+        iter = 0;
+        case = None;
+        schedule = [||];
+        detail =
+          Fmt.str
+            "ABD vs ABD^%d bad-outcome distributions incompatible over %d \
+             trials: %a vs %a"
+            k trials Adversary.Monte_carlo.pp base Adversary.Monte_carlo.pp
+            transformed;
+      }
+
+(* ---- oracle 4: seq-vs-par identity ---------------------------------- *)
+
+let par_identity ~seed ~trials () =
+  let estimate ?pool ~jobs () =
+    Adversary.Monte_carlo.estimate ?pool ~jobs ~trials ~seed
+      ~scheduler:Adversary.Schedulers.uniform ~bad:Programs.Weakener.bad
+      Programs.Weakener.abd_config
+  in
+  let seq = estimate ~jobs:1 () in
+  let par = Par.Pool.with_pool ~jobs:4 (fun pool -> estimate ~pool ~jobs:4 ()) in
+  let fail detail =
+    Some
+      { oracle = "par"; seed; iter = 0; case = None; schedule = [||]; detail }
+  in
+  if
+    (seq.bad, seq.deadlocks, seq.step_limited, seq.fraction)
+    <> (par.bad, par.deadlocks, par.step_limited, par.fraction)
+  then
+    fail
+      (Fmt.str "Monte-Carlo tallies differ at jobs 1 vs 4: %a vs %a"
+         Adversary.Monte_carlo.pp seq Adversary.Monte_carlo.pp par)
+  else begin
+    Model.Weakener_va.reset ();
+    let v_seq = Model.Weakener_va.bad_probability ~k:1 () in
+    Model.Weakener_va.reset ();
+    let v_par =
+      Par.Pool.with_pool ~jobs:4 (fun pool ->
+          Model.Weakener_va.bad_probability ~pool ~jobs:4 ~k:1 ())
+    in
+    Model.Weakener_va.reset ();
+    if v_seq <> v_par then
+      fail
+        (Fmt.str "VA^1 solver value differs at jobs 1 vs 4: %.17g vs %.17g"
+           v_seq v_par)
+    else None
+  end

@@ -1,0 +1,89 @@
+let last_attempts = ref 0
+
+let attempts_used () = !last_attempts
+
+let minimize ?(max_attempts = 10_000) ~fails schedule =
+  if not (fails schedule) then
+    invalid_arg "Fuzz.Shrink.minimize: input schedule does not fail";
+  let attempts = ref 1 in
+  let check s =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      fails s
+    end
+  in
+  let prefix s len = Array.sub s 0 len in
+  let without s i =
+    Array.init
+      (Array.length s - 1)
+      (fun j -> if j < i then s.(j) else s.(j + 1))
+  in
+  let cur = ref schedule in
+  (* Truncation: repeated halving while the first half still fails, then
+     peel single codes off the end. *)
+  let truncate () =
+    let shrank = ref false in
+    let continue = ref true in
+    while !continue do
+      let len = Array.length !cur in
+      let half = prefix !cur (len / 2) in
+      if len > 1 && check half then begin
+        cur := half;
+        shrank := true
+      end
+      else continue := false
+    done;
+    continue := true;
+    while !continue && Array.length !cur > 0 do
+      let shorter = prefix !cur (Array.length !cur - 1) in
+      if check shorter then begin
+        cur := shorter;
+        shrank := true
+      end
+      else continue := false
+    done;
+    !shrank
+  in
+  (* Deletion: remove interior codes one at a time (end-to-start, so
+     untried indices stay valid as elements disappear). *)
+  let delete () =
+    let shrank = ref false in
+    let i = ref (Array.length !cur - 1) in
+    while !i >= 0 do
+      let candidate = without !cur !i in
+      if check candidate then begin
+        cur := candidate;
+        shrank := true
+      end;
+      decr i
+    done;
+    !shrank
+  in
+  (* Canonicalization: pull surviving codes toward 0 ("pick the first
+     enabled event"), which makes shrunk corpora stable and readable. *)
+  let canonicalize () =
+    let shrank = ref false in
+    for i = 0 to Array.length !cur - 1 do
+      if !cur.(i) <> 0 then begin
+        let candidate = Array.copy !cur in
+        candidate.(i) <- 0;
+        if check candidate then begin
+          cur := candidate;
+          shrank := true
+        end
+      end
+    done;
+    !shrank
+  in
+  (* Iterate the passes to a fixpoint of the full cycle, so [minimize] is
+     idempotent: a shrunk schedule passes a whole cycle untouched. *)
+  let changed = ref true in
+  while !changed && !attempts < max_attempts do
+    let t = truncate () in
+    let d = delete () in
+    let c = canonicalize () in
+    changed := t || d || c
+  done;
+  last_attempts := !attempts;
+  !cur

@@ -12,6 +12,23 @@ let check_local specs h =
        (fun (name, spec) -> Check.check spec (Hist.project_obj h name))
        specs
 
+let check_local_result specs h =
+  match
+    List.find_opt
+      (fun (o : Hist.op) -> not (List.mem_assoc o.call.obj_name specs))
+      (Hist.ops h)
+  with
+  | Some o -> Error (Fmt.str "object %s has no specification" o.call.obj_name)
+  | None -> (
+      match
+        List.find_opt
+          (fun (name, spec) -> not (Check.check spec (Hist.project_obj h name)))
+          specs
+      with
+      | Some (name, _) ->
+          Error (Fmt.str "history of object %s is not linearizable" name)
+      | None -> Ok ())
+
 (* The product specification: abstract state is the list of component
    states in [specs] order; methods are dispatched by prefixing the object
    name, which we encode by rewriting the history's method names. *)

@@ -16,6 +16,13 @@
     appearing in [h] but not in [specs] make the check fail. *)
 val check_local : (string * History.Spec.t) list -> History.Hist.t -> bool
 
+(** [check_local_result specs h] is {!check_local} with a diagnostic: on
+    failure it names the first offending object (unknown to [specs], or
+    with a non-linearizable projection). The fuzzer's linearizability
+    oracle reports this string in corpus files. *)
+val check_local_result :
+  (string * History.Spec.t) list -> History.Hist.t -> (unit, string) result
+
 (** [check_monolithic specs h] checks [h] directly against the product
     machine whose abstract state is the tuple of all objects' states.
     Exponentially more expensive than {!check_local}; exists as the

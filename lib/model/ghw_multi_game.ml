@@ -211,6 +211,7 @@ let init ~k =
   base ~afek:true ~k
 
 let atomic_bad_probability () = S.value (base ~afek:false ~k:1)
-let afek_bad_probability ?(jobs = 1) ~k () = S.value_par ~jobs (init ~k)
+let afek_bad_probability ?pool ?(jobs = 1) ~k () =
+  S.value_par ?pool ~jobs (init ~k)
 let explored_states () = S.explored ()
 let reset () = S.reset ()

@@ -34,7 +34,7 @@ val atomic_bad_probability : unit -> float
 
 (** Adversary-optimal bad probability with [Afek Snapshot^k]. [jobs]
     (default 1) solves the root frontier on that many domains. *)
-val afek_bad_probability : ?jobs:int -> k:int -> unit -> float
+val afek_bad_probability : ?pool:Par.Pool.t -> ?jobs:int -> k:int -> unit -> float
 
 val explored_states : unit -> int
 val reset : unit -> unit

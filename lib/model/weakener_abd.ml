@@ -389,8 +389,8 @@ let init ?(atomic_c = true) ?(servers = 3) ~k () : Game.state =
     cread = None;
   }
 
-let bad_probability ?(atomic_c = true) ?(servers = 3) ?(jobs = 1) ~k () =
-  S.value_par ~jobs (init ~atomic_c ~servers ~k ())
+let bad_probability ?pool ?(atomic_c = true) ?(servers = 3) ?(jobs = 1) ~k () =
+  S.value_par ?pool ~jobs (init ~atomic_c ~servers ~k ())
 let best_move = S.best_move
 let explored_states () = S.explored ()
 let reset () = S.reset ()

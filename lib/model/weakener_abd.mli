@@ -46,7 +46,13 @@ val init : ?atomic_c:bool -> ?servers:int -> k:k -> unit -> Game.state
     domains via {!Mdp.Solver.Make.value_par}; the value is bit-identical
     at every job count. *)
 val bad_probability :
-  ?atomic_c:bool -> ?servers:int -> ?jobs:int -> k:k -> unit -> float
+  ?pool:Par.Pool.t ->
+  ?atomic_c:bool ->
+  ?servers:int ->
+  ?jobs:int ->
+  k:k ->
+  unit ->
+  float
 
 (** [best_move s] is a move attaining the optimal value at [s] (an optimal
     adversary strategy, computable after [bad_probability] filled the memo

@@ -9,7 +9,31 @@
     [p1]'s write according to the coin, but the second read can only match
     for one coin value. *)
 
-module Game : Mdp.Solver.GAME
+(** The game state is exposed concretely (unlike the message-level ABD
+    games) so the fuzzer's differential oracle can {e abstract} a simulator
+    execution of the atomic weakener into a game state and compare
+    [Game.encode] keys step for step against the model's own transitions. *)
+module Game : sig
+  (** -1 encodes the registers' initial values (⊥ for [R], -1 for [C]);
+      [u1]/[u2]/[cread] use [None] for "not read yet". [pc0] counts p0's
+      completed register accesses (0-1), [pc1] p1's accesses plus the coin
+      flip (0-3), [pc2] p2's reads (0-3). *)
+  type state = {
+    r : int;
+    c : int;
+    pc0 : int;
+    pc1 : int;
+    pc2 : int;
+    coin : int;
+    u1 : int option;
+    u2 : int option;
+    cread : int option;
+  }
+
+  type move = Step of int
+
+  include Mdp.Solver.GAME with type state := state and type move := move
+end
 
 (** The initial state. *)
 val init : Game.state

@@ -182,7 +182,7 @@ let init ~k : Game.state =
     cread = None;
   }
 
-let bad_probability ?(jobs = 1) ~k () = S.value_par ~jobs (init ~k)
+let bad_probability ?pool ?(jobs = 1) ~k () = S.value_par ?pool ~jobs (init ~k)
 let explored_states () = S.explored ()
 let reset () = S.reset ()
 let solver_stats () = S.stats ()

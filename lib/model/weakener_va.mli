@@ -27,7 +27,7 @@ val init : k:int -> Game.state
     (default 1) solves the root frontier on that many domains via
     {!Mdp.Solver.Make.value_par}; the value is bit-identical at every job
     count. *)
-val bad_probability : ?jobs:int -> k:int -> unit -> float
+val bad_probability : ?pool:Par.Pool.t -> ?jobs:int -> k:int -> unit -> float
 
 val explored_states : unit -> int
 val reset : unit -> unit

@@ -33,6 +33,14 @@ let worker_loop t =
   in
   loop ()
 
+(* Process-wide count of live worker domains across every pool: incremented
+   at spawn, decremented after the join in [shutdown]. Lets callers (and the
+   test suite) assert that an exception unwinding through [with_pool] left
+   no domain behind. *)
+let spawned = Atomic.make 0
+
+let spawned_domains () = Atomic.get spawned
+
 let create ~jobs =
   if jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
   let t =
@@ -45,7 +53,11 @@ let create ~jobs =
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (jobs - 1) (fun _ ->
+        let d = Domain.spawn (fun () -> worker_loop t) in
+        Atomic.incr spawned;
+        d);
   t
 
 let shutdown t =
@@ -55,7 +67,11 @@ let shutdown t =
   Mutex.unlock t.mutex;
   let ws = t.workers in
   t.workers <- [];
-  List.iter Domain.join ws
+  List.iter
+    (fun d ->
+      Domain.join d;
+      Atomic.decr spawned)
+    ws
 
 let with_pool ~jobs f =
   let t = create ~jobs in
@@ -100,6 +116,7 @@ let chunk_loop r =
 
 let map t ~n f =
   if n < 0 then invalid_arg "Par.Pool.map: negative size";
+  if t.stopping then invalid_arg "Par.Pool.map: pool is shut down";
   if n = 0 then [||]
   else if t.jobs = 1 || n = 1 then Array.init n f
   else begin

@@ -31,8 +31,16 @@ val jobs : t -> int
 val shutdown : t -> unit
 
 (** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
-    down, including on exceptions. *)
+    down, including on exceptions — the exception-safe entry point the
+    fuzzer, the bench harness and the CLI use, so a raised oracle failure
+    never leaves a worker domain alive. *)
 val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** [spawned_domains ()] is the process-wide number of currently live
+    worker domains across all pools (spawned and not yet joined). After
+    every [with_pool] has unwound — normally or exceptionally — this is
+    0; the test suite asserts it. *)
+val spawned_domains : unit -> int
 
 (** [map t ~n f] is [Array.init n f] with the index space partitioned
     into chunks executed across the pool. [f] runs concurrently on

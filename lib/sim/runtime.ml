@@ -360,3 +360,29 @@ let run t ~max_steps choose =
   result
 
 let run_schedule t events = List.iter (step t) events
+
+type guided_result = Finished of run_result | Guide_stopped
+
+let run_guided t ~max_steps guide =
+  Obs.Metrics.incr M.runs;
+  let rec go remaining =
+    if finished t then Finished Completed
+    else if remaining = 0 then Finished Step_limit_reached
+    else
+      match enabled t with
+      | [] -> Finished Deadlocked
+      | evs -> (
+          match guide t evs with
+          | None -> Guide_stopped
+          | Some e ->
+              step t e;
+              go (remaining - 1))
+  in
+  let result = go max_steps in
+  Log.info (fun m ->
+      m "guided run %s after %d steps"
+        (match result with
+        | Finished r -> Fmt.str "%a" pp_run_result r
+        | Guide_stopped -> "stopped by guide")
+        (Trace.count_steps t.trace));
+  result

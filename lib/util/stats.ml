@@ -28,3 +28,10 @@ let binomial_ci ~successes ~trials =
 
 let fraction ~successes ~trials =
   if trials = 0 then 0.0 else float_of_int successes /. float_of_int trials
+
+let intervals_overlap (lo1, hi1) (lo2, hi2) = lo1 <= hi2 && lo2 <= hi1
+
+let binomial_compatible ~successes1 ~trials1 ~successes2 ~trials2 =
+  intervals_overlap
+    (binomial_ci ~successes:successes1 ~trials:trials1)
+    (binomial_ci ~successes:successes2 ~trials:trials2)

@@ -22,4 +22,5 @@ let () =
       ("obs-diff", Test_diff.tests);
       ("programs", Test_programs.tests);
       ("programs-benor", Test_programs.ben_or_tests);
+      ("fuzz", Test_fuzz.tests);
     ]
