@@ -1,0 +1,75 @@
+(* Offline trace analysis: read an Obs.Ring dump (written by
+   `main.exe --trace-out` or `blunting solve/trace --trace-out`) and
+   render the Obs.Trace_analysis report.
+
+     dune exec bench/analyze.exe -- trace.json
+     dune exec bench/analyze.exe -- --json report.json trace.json
+     dune exec bench/analyze.exe -- --chrome trace_chrome.json trace.json
+     dune exec bench/analyze.exe -- --top 20 --buckets 40 trace.json
+
+   The human report always goes to stdout; --json additionally writes the
+   machine-readable report document and --chrome the Chrome/Perfetto
+   trace-event export (per-domain lanes). `blunting trace analyze` is the
+   same analysis behind the installed CLI; this executable keeps it
+   runnable from a bare bench checkout. *)
+
+let () =
+  let json_out = ref None
+  and chrome_out = ref None
+  and top = ref 10
+  and buckets = ref 20
+  and path = ref None in
+  let usage () =
+    Fmt.epr
+      "usage: analyze.exe [--json PATH] [--chrome PATH] [--top N] [--buckets \
+       N] TRACE.json@.";
+    exit 2
+  in
+  let pos_int flag s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ ->
+        Fmt.epr "%s expects a positive integer@." flag;
+        exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: p :: rest ->
+        json_out := Some p;
+        parse rest
+    | "--chrome" :: p :: rest ->
+        chrome_out := Some p;
+        parse rest
+    | "--top" :: n :: rest ->
+        top := pos_int "--top" n;
+        parse rest
+    | "--buckets" :: n :: rest ->
+        buckets := pos_int "--buckets" n;
+        parse rest
+    | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-'
+      ->
+        path := Some arg;
+        parse rest
+    | arg :: _ ->
+        Fmt.epr "unknown argument %s@." arg;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path = match !path with Some p -> p | None -> usage () in
+  match Obs.Ring.load_file path with
+  | Error e ->
+      Fmt.epr "%s: %s@." path e;
+      exit 1
+  | Ok dump ->
+      let report = Obs.Trace_analysis.analyze ~top:!top ~buckets:!buckets dump in
+      Fmt.pr "%a@." Obs.Trace_analysis.pp report;
+      (match !json_out with
+      | Some p ->
+          Obs.Json.write_file p (Obs.Trace_analysis.to_json report);
+          Fmt.pr "report -> %s@." p
+      | None -> ());
+      (match !chrome_out with
+      | Some p ->
+          Obs.Chrome_trace.write_file p (Obs.Ring.chrome_events dump);
+          Fmt.pr "chrome trace -> %s@." p
+      | None -> ())

@@ -31,6 +31,7 @@ open Util
 type options = {
   json_path : string option;
   baseline_path : string option;
+  trace_out : string option;
   only : string list option;  (* uppercased section ids *)
   progress : bool;
   jobs : int;
@@ -40,6 +41,7 @@ type options = {
 let options =
   let json_path = ref None
   and baseline_path = ref None
+  and trace_out = ref None
   and only = ref None
   and progress = ref false
   (* default 1, not the core count: every deterministic quantity is
@@ -49,8 +51,9 @@ let options =
   and skip_bechamel = ref false in
   let usage () =
     Fmt.epr
-      "usage: main.exe [--json PATH] [--baseline PATH] [--only E1,E2,...] \
-       [--progress] [--jobs N] [--skip-bechamel] [--verbosity LEVEL]@.";
+      "usage: main.exe [--json PATH] [--baseline PATH] [--trace-out PATH] \
+       [--only E1,E2,...] [--progress] [--jobs N] [--skip-bechamel] \
+       [--verbosity LEVEL]@.";
     exit 2
   in
   let rec parse = function
@@ -60,6 +63,9 @@ let options =
         parse rest
     | "--baseline" :: path :: rest ->
         baseline_path := Some path;
+        parse rest
+    | "--trace-out" :: path :: rest ->
+        trace_out := Some path;
         parse rest
     | "--only" :: ids :: rest ->
         only :=
@@ -98,6 +104,7 @@ let options =
   {
     json_path = !json_path;
     baseline_path = !baseline_path;
+    trace_out = !trace_out;
     only = !only;
     progress = !progress;
     jobs = !jobs;
@@ -771,15 +778,24 @@ let par_speedup () =
         Par.Pool.with_pool ~jobs (fun pool -> mc ~pool jobs))
   in
   let mc_same = mc_seq = mc_par in
+  (* ABD^min(2,kmax): deep enough for real frontier fan-out, yet a
+     BLUNTING_KMAX=1 smoke run stays fast *)
+  let solve_k = min 2 kmax in
   Model.Weakener_abd.reset ();
   let v_seq, t_sseq =
-    time "PAR solve seq" (fun () -> Model.Weakener_abd.bad_probability ~k:2 ())
+    time "PAR solve seq" (fun () ->
+        Model.Weakener_abd.bad_probability ~k:solve_k ())
   in
   Model.Weakener_abd.reset ();
+  (* domain identity is only observable while the pool is alive, so it is
+     captured inside the region (negligible next to the solve itself) *)
+  let domain_info = ref (0, []) in
   let v_par, t_spar =
     time "PAR solve par" (fun () ->
         Par.Pool.with_pool ~jobs (fun pool ->
-            Model.Weakener_abd.bad_probability ~pool ~jobs ~k:2 ()))
+            let v = Model.Weakener_abd.bad_probability ~pool ~jobs ~k:solve_k () in
+            domain_info := (Par.Pool.spawned_domains (), Par.Pool.domain_ids pool);
+            v))
   in
   let solve_same = Float.equal v_seq v_par in
   let speedup seq par = if par > 0.0 then seq /. par else 1.0 in
@@ -801,17 +817,58 @@ let par_speedup () =
       ()
   in
   add "Monte-Carlo, 4000 trials" t_mseq t_mpar mc_same;
-  add "exact solve, ABD^2" t_sseq t_spar solve_same;
+  add (Fmt.str "exact solve, ABD^%d" solve_k) t_sseq t_spar solve_same;
+  (* schema-v3 parallel telemetry: who ran (spawned_domains, domain_ids)
+     and what each domain's memo table did — the cross-domain duplicate-key
+     figures are exact (whole keys, not trace hashes) and quantify how
+     much of the parallel solve was wasted re-exploration, the metric the
+     work-stealing rewrite is chartered to drive to 0 *)
+  let spawned, ids = !domain_info in
+  let par_solve_json =
+    match Model.Weakener_abd.last_par_stats () with
+    | None -> []
+    | Some (ps : Mdp.Solver.par_stats) ->
+        [
+          ( "par_solve",
+            Obs.Json.Obj
+              [
+                ( "domains",
+                  Obs.Json.List
+                    (List.map
+                       (fun (d : Mdp.Solver.domain_stats) ->
+                         Obs.Json.Obj
+                           [
+                             ("domain", Obs.Json.Int d.domain_id);
+                             ("states", Obs.Json.Int d.stats.states);
+                             ("memo_hits", Obs.Json.Int d.stats.memo_hits);
+                             ("memo_misses", Obs.Json.Int d.stats.memo_misses);
+                             ( "hit_rate",
+                               Obs.Json.Float (Mdp.Solver.hit_rate d.stats) );
+                           ])
+                       ps.domains) );
+                ("distinct_keys", Obs.Json.Int ps.distinct_keys);
+                ("duplicated_keys", Obs.Json.Int ps.duplicated_keys);
+                ("duplicated_work_pct", Obs.Json.Float ps.duplicated_work_pct);
+              ] );
+        ]
+  in
   Report.metrics r
-    [
-      ("jobs", Obs.Json.Int jobs);
-      ("mc_seq_seconds", Obs.Json.Float t_mseq);
-      ("mc_par_seconds", Obs.Json.Float t_mpar);
-      ("mc_speedup_timing", Obs.Json.Float (speedup t_mseq t_mpar));
-      ("solve_seq_seconds", Obs.Json.Float t_sseq);
-      ("solve_par_seconds", Obs.Json.Float t_spar);
-      ("solve_speedup_timing", Obs.Json.Float (speedup t_sseq t_spar));
-    ];
+    ([
+       ("jobs", Obs.Json.Int jobs);
+       ("spawned_domains", Obs.Json.Int spawned);
+       ("domain_ids", Obs.Json.List (List.map (fun i -> Obs.Json.Int i) ids));
+       ("mc_seq_seconds", Obs.Json.Float t_mseq);
+       ("mc_par_seconds", Obs.Json.Float t_mpar);
+       ("mc_speedup_timing", Obs.Json.Float (speedup t_mseq t_mpar));
+       ("solve_k", Obs.Json.Int solve_k);
+       ("solve_seq_seconds", Obs.Json.Float t_sseq);
+       ("solve_par_seconds", Obs.Json.Float t_spar);
+       ("solve_speedup_timing", Obs.Json.Float (speedup t_sseq t_spar));
+     ]
+    @ par_solve_json);
+  (match Model.Weakener_abd.last_par_stats () with
+  | Some ps -> Fmt.pr "@.  %a@." Mdp.Solver.pp_par_stats ps
+  | None -> ());
   Report.finish r;
   Fmt.pr
     "@.(Speedup depends on the machine's core count — %d domain%s available@.\
@@ -923,6 +980,13 @@ let () =
     Model.Weakener_abd.set_progress hook;
     Model.Weakener_va.set_progress hook
   end;
+  (match options.trace_out with
+  | Some _ -> (
+      Obs.Ring.set_enabled true;
+      match Obs.Ring.start_runtime_events () with
+      | Ok () -> ()
+      | Error e -> Fmt.epr "trace: runtime events unavailable (%s)@." e)
+  | None -> ());
   let sections =
     [
       ("E1", e1_atomic);
@@ -950,6 +1014,19 @@ let () =
         Fun.protect ~finally:(fun () -> pool := None) run_sections)
   else run_sections ();
   if (not options.skip_bechamel) && runs "BENCH" then bechamel ();
+  (match options.trace_out with
+  | Some path ->
+      Obs.Ring.set_enabled false;
+      let d = Obs.Ring.dump () in
+      Obs.Ring.write_file path d;
+      let events =
+        List.fold_left (fun acc (dd : Obs.Ring.domain_dump) ->
+            acc + List.length dd.events)
+          0 (d.domains @ d.runtime)
+      in
+      Fmt.pr "@.trace: %d events across %d domain ring(s) -> %s@." events
+        (List.length d.domains) path
+  | None -> ());
   (match options.json_path with
   | Some path -> Report.write_json ~path
   | None -> ());

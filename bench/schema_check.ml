@@ -2,6 +2,7 @@
 
      dune exec bench/schema_check.exe -- bench_smoke.json
      dune exec bench/schema_check.exe -- --expect-no-work E4 bench_smoke.json
+     dune exec bench/schema_check.exe -- --expect-par PAR par_smoke.json
 
    Exits non-zero (with a diagnostic) on parse or schema errors, so the
    @smoke alias fails loudly when the emitter regresses.
@@ -10,18 +11,30 @@
    named section's metrics carry no counter deltas — the guard that the
    per-section Metrics scoping in bench/report.ml really is per-section:
    a cumulative implementation would leak earlier sections' simulator and
-   solver counters into a pure-math section like E4. *)
+   solver counters into a pure-math section like E4.
+
+   --expect-par SECTION (repeatable) asserts the named section carries the
+   schema-v3 parallel telemetry: an integer "spawned_domains" >= 1, a
+   non-empty "domain_ids" integer list, and a "par_solve" object with a
+   numeric "duplicated_work_pct" and at least one per-domain entry — the
+   guard that a multi-job bench run actually published who ran and what
+   each domain's memo table did. *)
 
 let () =
-  let expect_no_work = ref [] and path = ref None in
+  let expect_no_work = ref [] and expect_par = ref [] and path = ref None in
   let usage () =
-    Fmt.epr "usage: schema_check.exe [--expect-no-work SECTION] FILE.json@.";
+    Fmt.epr
+      "usage: schema_check.exe [--expect-no-work SECTION] [--expect-par \
+       SECTION] FILE.json@.";
     exit 2
   in
   let rec parse = function
     | [] -> ()
     | "--expect-no-work" :: id :: rest ->
         expect_no_work := String.uppercase_ascii id :: !expect_no_work;
+        parse rest
+    | "--expect-par" :: id :: rest ->
+        expect_par := String.uppercase_ascii id :: !expect_par;
         parse rest
     | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
         path := Some arg;
@@ -79,6 +92,49 @@ let () =
                         path id Obs.Json.pp c;
                       exit 1))
             !expect_no_work;
+          List.iter
+            (fun id ->
+              match List.find_opt (fun s -> section_id s = id) sections with
+              | None ->
+                  Fmt.epr "%s: --expect-par %s: no such section@." path id;
+                  exit 1
+              | Some s ->
+                  let fail fmt =
+                    Fmt.kstr
+                      (fun msg ->
+                        Fmt.epr "%s: section %s: %s@." path id msg;
+                        exit 1)
+                      fmt
+                  in
+                  let metric name =
+                    Option.bind (Obs.Json.member "metrics" s)
+                      (Obs.Json.member name)
+                  in
+                  (match metric "spawned_domains" with
+                  | Some (Obs.Json.Int n) when n >= 1 -> ()
+                  | _ -> fail "expected integer spawned_domains >= 1");
+                  (match metric "domain_ids" with
+                  | Some (Obs.Json.List (_ :: _ as ids))
+                    when List.for_all
+                           (function Obs.Json.Int _ -> true | _ -> false)
+                           ids ->
+                      ()
+                  | _ -> fail "expected non-empty integer list domain_ids");
+                  (match metric "par_solve" with
+                  | Some (Obs.Json.Obj _ as ps) ->
+                      (match
+                         Option.bind
+                           (Obs.Json.member "duplicated_work_pct" ps)
+                           Obs.Json.to_number_opt
+                       with
+                      | Some _ -> ()
+                      | None ->
+                          fail "par_solve lacks numeric duplicated_work_pct");
+                      (match Obs.Json.member "domains" ps with
+                      | Some (Obs.Json.List (_ :: _)) -> ()
+                      | _ -> fail "par_solve.domains must be a non-empty list")
+                  | _ -> fail "expected par_solve object"))
+            !expect_par;
           Fmt.pr "%s: ok (schema v%d, %d experiment sections)@." path
             Obs.Results.schema_version
             (List.length sections))

@@ -7,6 +7,8 @@
      blunting mc --registers abd -k 2 --trials 1000
      blunting lin-sweep --object abd --trials 50
      blunting trace --registers abd -o weakener.trace.json
+     blunting trace analyze ring_dump.json --chrome lanes.json
+     blunting solve -k 1 --jobs 4 --trace-out ring_dump.json
      blunting metrics --workload mc --json
      blunting bench-diff BASELINE.json CURRENT.json
      blunting fuzz --seed 42 --budget 10000 --jobs 4
@@ -87,10 +89,27 @@ let solve_cmd =
             "Emit live solver progress to stderr (memoized states, hit rate, \
              states/sec) every 50k states explored.")
   in
-  let run () k atomic servers abd_c progress jobs =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"PATH"
+          ~doc:
+            "Record per-domain ring-buffer events (solver memo probes, pool \
+             task/idle slices, GC) during the solve and write the dump to \
+             $(docv); analyze it with $(b,blunting trace analyze).")
+  in
+  let run () k atomic servers abd_c progress trace_out jobs =
     if progress then
       Model.Weakener_abd.set_progress
         (Some (fun p -> Fmt.epr "  [mdp] %a@." Mdp.Solver.pp_progress p));
+    (match trace_out with
+    | Some _ -> (
+        Obs.Ring.set_enabled true;
+        match Obs.Ring.start_runtime_events () with
+        | Ok () -> ()
+        | Error e -> Fmt.epr "trace: runtime events unavailable (%s)@." e)
+    | None -> ());
     if atomic then begin
       let v = Model.Weakener_atomic.bad_probability () in
       Fmt.pr "weakener with atomic registers:@.";
@@ -109,14 +128,23 @@ let solve_cmd =
       Fmt.pr "  guaranteed termination probability      = %.6f@." (1.0 -. v);
       Fmt.pr "  Theorem 4.2 upper bound on the former   = %.6f@."
         (Core.Bound.weakener_instance ~k);
-      Fmt.pr "  solver: %a@." Mdp.Solver.pp_stats st
-    end
+      Fmt.pr "  solver: %a@." Mdp.Solver.pp_stats st;
+      match Model.Weakener_abd.last_par_stats () with
+      | Some ps -> Fmt.pr "  %a@." Mdp.Solver.pp_par_stats ps
+      | None -> ()
+    end;
+    match trace_out with
+    | Some path ->
+        Obs.Ring.set_enabled false;
+        Obs.Ring.write_file path (Obs.Ring.dump ());
+        Fmt.pr "  trace dump -> %s@." path
+    | None -> ()
   in
   let doc = "Solve the exact adversary-vs-coin game of the weakener program." in
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const run $ verbosity_term $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg
-      $ progress_arg $ jobs_term)
+      $ progress_arg $ trace_out_arg $ jobs_term)
 
 (* ---- figure1 -------------------------------------------------------- *)
 
@@ -347,14 +375,88 @@ let trace_cmd =
         Fmt.pr "open it at https://ui.perfetto.dev or chrome://tracing@."
     | `Jsonl -> ()
   in
+  (* `blunting trace analyze` — the offline side of the ring-buffer
+     tracing: read a dump written by --trace-out (solve or bench) and
+     render the per-domain utilization / hot-state / duplicated-work
+     report, optionally with machine JSON and a Chrome/Perfetto export. *)
+  let analyze_cmd =
+    let trace_arg =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"TRACE"
+            ~doc:"Ring dump written by $(b,--trace-out) (blunting-trace/1).")
+    in
+    let json_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"PATH"
+            ~doc:"Also write the report as machine-readable JSON to $(docv).")
+    in
+    let chrome_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "chrome" ] ~docv:"PATH"
+            ~doc:
+              "Also export the dump as a Chrome/Perfetto trace with one lane \
+               per domain to $(docv).")
+    in
+    let top_arg =
+      Arg.(
+        value & opt int 10
+        & info [ "top" ] ~docv:"N" ~doc:"Hot states to list (default 10).")
+    in
+    let buckets_arg =
+      Arg.(
+        value & opt int 20
+        & info [ "buckets" ] ~docv:"N"
+            ~doc:"Utilization timeline resolution (default 20).")
+    in
+    let run () trace json chrome top buckets =
+      if top < 1 || buckets < 1 then begin
+        Fmt.epr "--top and --buckets expect positive integers@.";
+        exit 2
+      end;
+      match Obs.Ring.load_file trace with
+      | Error e ->
+          Fmt.epr "%s: %s@." trace e;
+          exit 1
+      | Ok dump ->
+          let report = Obs.Trace_analysis.analyze ~top ~buckets dump in
+          Fmt.pr "%a@." Obs.Trace_analysis.pp report;
+          (match json with
+          | Some p ->
+              Obs.Json.write_file p (Obs.Trace_analysis.to_json report);
+              Fmt.pr "report -> %s@." p
+          | None -> ());
+          (match chrome with
+          | Some p ->
+              Obs.Chrome_trace.write_file p (Obs.Ring.chrome_events dump);
+              Fmt.pr "chrome trace -> %s (open at https://ui.perfetto.dev)@." p
+          | None -> ())
+    in
+    let doc =
+      "Analyze a per-domain ring-buffer trace dump: memo hit rates, hot \
+       states, cross-domain duplicated work, queue depths, adversary \
+       decisions and a utilization timeline."
+    in
+    Cmd.v (Cmd.info "analyze" ~doc)
+      Term.(
+        const run $ verbosity_term $ trace_arg $ json_arg $ chrome_arg
+        $ top_arg $ buckets_arg)
+  in
   let doc =
     "Run the weakener once and export the execution as a structured trace \
-     (Chrome/Perfetto or JSONL)."
+     (Chrome/Perfetto or JSONL); $(b,trace analyze) reads ring dumps instead."
   in
-  Cmd.v (Cmd.info "trace" ~doc)
-    Term.(
-      const run $ verbosity_term $ registers_arg $ k_arg $ seed_arg $ sched_arg
-      $ out_arg $ format_arg)
+  Cmd.group
+    ~default:
+      Term.(
+        const run $ verbosity_term $ registers_arg $ k_arg $ seed_arg
+        $ sched_arg $ out_arg $ format_arg)
+    (Cmd.info "trace" ~doc) [ analyze_cmd ]
 
 (* ---- metrics -------------------------------------------------------- *)
 

@@ -189,25 +189,77 @@ let run ?(jobs = 1) ?corpus_dir ?(planted = false) ?(dist_trials = 400)
 
 (* ---- corpus replay --------------------------------------------------- *)
 
+(* The replay runs with {!Obs.Ring} tracing enabled so the verdict can be
+   attributed: the Ok/Error message names the oracle and its diagnostic,
+   and summarizes what the adversary chose at each decision point of the
+   (shrunk) schedule — enabled-set sizes and the step/deliver/crash split
+   come from the [Adv_decision]/[Sim_*] events the runtime records. *)
 let replay_entry (e : Corpus.t) =
-  let failed =
-    match (e.oracle, e.case) with
-    | "lin", Some case ->
-        Oracle.lin_fails ~seed:e.seed ~iter:e.iter case e.schedule
-    | "model", _ ->
-        Oracle.model_lockstep ~seed:e.seed ~iter:e.iter <> None
-    | "dist", _ -> Oracle.dist ~seed:e.seed ~trials:400 ~k:2 () <> None
-    | "par", _ -> Oracle.par_identity ~seed:e.seed ~trials:200 () <> None
-    | oracle, _ -> Fmt.failwith "corpus entry with unknown oracle %S" oracle
+  Obs.Ring.reset ();
+  Obs.Ring.set_enabled true;
+  let failure_detail =
+    Fun.protect
+      ~finally:(fun () -> Obs.Ring.set_enabled false)
+      (fun () ->
+        match (e.oracle, e.case) with
+        | "lin", Some case -> (
+            match
+              Oracle.lin_check case
+                (Oracle.replay ~seed:e.seed ~iter:e.iter case e.schedule)
+            with
+            | Ok () -> None
+            | Error detail -> Some detail)
+        | "model", _ ->
+            Option.map
+              (fun (f : Oracle.failure) -> f.detail)
+              (Oracle.model_lockstep ~seed:e.seed ~iter:e.iter)
+        | "dist", _ ->
+            Option.map
+              (fun (f : Oracle.failure) -> f.detail)
+              (Oracle.dist ~seed:e.seed ~trials:400 ~k:2 ())
+        | "par", _ ->
+            Option.map
+              (fun (f : Oracle.failure) -> f.detail)
+              (Oracle.par_identity ~seed:e.seed ~trials:200 ())
+        | oracle, _ ->
+            Fmt.failwith "corpus entry with unknown oracle %S" oracle)
   in
-  match (e.expect, failed) with
+  let attribution =
+    let t = Obs.Trace_analysis.analyze (Obs.Ring.dump ()) in
+    match t.decisions with
+    | Some (s : Obs.Trace_analysis.decision_summary) when s.decisions > 0 ->
+        Fmt.str
+          "\n  adversary decisions: %d (%d forced), enabled set %d..%d (mean \
+           %.1f); chosen: %d step%s, %d deliver%s, %d crash%s"
+          s.decisions s.forced s.min_enabled s.max_enabled s.mean_enabled
+          s.steps
+          (if s.steps = 1 then "" else "s")
+          s.delivers
+          (if s.delivers = 1 then "y" else "ies")
+          s.crashes
+          (if s.crashes = 1 then "" else "es")
+    | _ -> ""
+  in
+  let oracle_line =
+    match failure_detail with
+    | Some detail -> Fmt.str "\n  failing oracle: %s — %s" e.oracle detail
+    | None -> ""
+  in
+  match (e.expect, failure_detail <> None) with
   | Corpus.Fail, true ->
-      Ok (Fmt.str "reproduced expected failure: %a" Corpus.pp e)
-  | Corpus.Pass, false -> Ok (Fmt.str "passed as expected: %a" Corpus.pp e)
+      Ok
+        (Fmt.str "reproduced expected failure: %a%s%s" Corpus.pp e oracle_line
+           attribution)
+  | Corpus.Pass, false ->
+      Ok (Fmt.str "passed as expected: %a%s" Corpus.pp e attribution)
   | Corpus.Fail, false ->
-      Error (Fmt.str "expected failure did not reproduce: %a" Corpus.pp e)
+      Error
+        (Fmt.str "expected failure did not reproduce: %a (oracle %s now \
+                  passes)%s" Corpus.pp e e.oracle attribution)
   | Corpus.Pass, true ->
-      Error (Fmt.str "regression: previously passing entry fails: %a" Corpus.pp e)
+      Error
+        (Fmt.str "regression: previously passing entry fails: %a%s%s" Corpus.pp
+           e oracle_line attribution)
 
 let replay_file path =
   match Corpus.read path with

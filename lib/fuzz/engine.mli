@@ -60,5 +60,9 @@ val run :
 (** [replay_file path] re-executes a corpus entry and evaluates its
     oracle. [Ok message] when the recorded expectation (fail or pass) is
     met, [Error message] when the verdict flipped or the file is
-    unreadable. *)
+    unreadable. The replay runs under {!Obs.Ring} tracing (enabled for
+    its duration, restored to disabled after), so the message names the
+    failing oracle with its diagnostic and attributes the adversary's
+    decisions along the (shrunk) schedule — decision count, enabled-set
+    size range and the step/deliver/crash split. *)
 val replay_file : string -> (string, string) result

@@ -49,6 +49,23 @@ let pp_stats ppf s =
     (100.0 *. hit_rate s)
     s.max_depth
 
+type domain_stats = { domain_id : int; stats : stats }
+
+type par_stats = {
+  domains : domain_stats list;
+  distinct_keys : int;
+  duplicated_keys : int;
+  duplicated_work_pct : float;
+}
+
+let pp_par_stats ppf p =
+  Fmt.pf ppf "%d domains, %d distinct keys, %d duplicated (%.1f%% of work):@,"
+    (List.length p.domains) p.distinct_keys p.duplicated_keys
+    p.duplicated_work_pct;
+  List.iter
+    (fun d -> Fmt.pf ppf "  domain %d: %a@," d.domain_id pp_stats d.stats)
+    p.domains
+
 type progress = { stats : stats; elapsed_s : float; states_per_sec : float }
 
 let pp_progress ppf p =
@@ -136,15 +153,24 @@ module Make (G : GAME) = struct
     match Hashtbl.find_opt i.memo key with
     | Some (Value v) ->
         i.hits <- i.hits + 1;
+        (* the enabled () guard keeps the key hash off the disabled path *)
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Solver_hit (Hashtbl.hash key) depth;
         v
     | Some In_progress -> raise Cyclic
     | None ->
         i.misses <- i.misses + 1;
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Solver_expand (Hashtbl.hash key) depth;
         progress_tick i;
         Hashtbl.replace i.memo key In_progress;
         let v =
           match G.moves s with
-          | [] -> G.terminal_value s
+          | [] ->
+              if Obs.Ring.enabled () then
+                Obs.Ring.record Obs.Ring.Solver_terminal (Hashtbl.hash key)
+                  depth;
+              G.terminal_value s
           | ms ->
               List.fold_left
                 (fun acc m -> Float.max acc (transition_value i depth (G.apply s m)))
@@ -210,7 +236,55 @@ module Make (G : GAME) = struct
 
   let explored () = default.states
 
+  (* The per-domain instances of the most recent [value_par], retained so
+     [last_par_stats] can compute the cross-domain duplicate-key figures
+     lazily — counting key overlaps walks every worker table, which must
+     not happen inside the timed solve. Cleared by [reset] and replaced
+     by the next parallel solve. *)
+  let last_par : (int * t) list ref = ref []
+
+  let last_par_stats () =
+    match !last_par with
+    | [] -> None
+    | workers ->
+        let keys : (string, int) Hashtbl.t = Hashtbl.create 65_536 in
+        List.iter
+          (fun (_, (w : t)) ->
+            Hashtbl.iter
+              (fun k mark ->
+                match mark with
+                | Value _ ->
+                    Hashtbl.replace keys k
+                      (1 + Option.value ~default:0 (Hashtbl.find_opt keys k))
+                | In_progress -> ())
+              w.memo)
+          workers;
+        let distinct = Hashtbl.length keys in
+        let duplicated =
+          Hashtbl.fold (fun _ c acc -> if c >= 2 then acc + 1 else acc) keys 0
+        in
+        let total =
+          List.fold_left (fun acc (_, (w : t)) -> acc + w.states) 0 workers
+        in
+        Some
+          {
+            domains =
+              List.map
+                (fun (domain_id, w) -> { domain_id; stats = stats_of w })
+                workers
+              |> List.sort (fun a b -> compare a.domain_id b.domain_id);
+            distinct_keys = distinct;
+            duplicated_keys = duplicated;
+            duplicated_work_pct =
+              (if total = 0 then 0.0
+               else
+                 100.0
+                 *. float_of_int (total - distinct)
+                 /. float_of_int total);
+          }
+
   let reset () =
+    last_par := [];
     Hashtbl.reset default.memo;
     default.hits <- 0;
     default.misses <- 0;
@@ -334,7 +408,7 @@ module Make (G : GAME) = struct
           Domain.DLS.new_key (fun () ->
               let inst = make_instance () in
               Mutex.lock created_mutex;
-              created := inst :: !created;
+              created := ((Domain.self () :> int), inst) :: !created;
               Mutex.unlock created_mutex;
               inst)
         in
@@ -352,15 +426,18 @@ module Make (G : GAME) = struct
         (* Deterministic merge of the per-domain work counters into the
            calling instance (sum; states explored by several domains count
            once per domain — parallel work, not distinct-state count). The
-           worker memo tables are dropped here, so a subsequent sequential
-           solve re-explores; parallel roots are for one-shot values. *)
+           worker memo tables are retained in [last_par] for the lazy
+           duplicate-key telemetry, but not consulted by later solves: a
+           subsequent sequential solve re-explores; parallel roots are for
+           one-shot values. *)
         List.iter
-          (fun (w : t) ->
+          (fun (_, (w : t)) ->
             default.hits <- default.hits + w.hits;
             default.misses <- default.misses + w.misses;
             default.states <- default.states + w.states;
             default.max_depth <- max default.max_depth w.max_depth)
           !created;
+        last_par := !created;
         eval_plan values plan
       end
 end

@@ -61,6 +61,30 @@ val hit_rate : stats -> float
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** One parallel participant's work, keyed by its runtime domain id (the
+    id {!Par.Pool.domain_ids} and trace dumps use). *)
+type domain_stats = { domain_id : int; stats : stats }
+
+(** Cross-domain telemetry of the most recent [value_par]: which share of
+    the parallel work was wasted re-exploring states another domain also
+    memoized. [distinct_keys] is the number of distinct state keys across
+    every per-domain memo table (equal to the sequential solve's state
+    count for the same root); [duplicated_keys] counts keys present in at
+    least two tables; [duplicated_work_pct] is
+    [100 * (sum of per-domain states - distinct) / sum] — the fraction of
+    parallel state evaluations that were redundant, the quantity the
+    work-stealing/shared-memo rewrite must drive toward 0. Exact (whole
+    keys, not hashes), unlike the ring-trace estimate of
+    [Obs.Trace_analysis]. *)
+type par_stats = {
+  domains : domain_stats list;  (** sorted by domain id *)
+  distinct_keys : int;
+  duplicated_keys : int;
+  duplicated_work_pct : float;
+}
+
+val pp_par_stats : Format.formatter -> par_stats -> unit
+
 (** A progress report from inside a running solve: the instance's stats so
     far, wall time since the root [value]/[best_move] call, and the
     evaluation rate (memo misses {e of this solve} per second — a reused
@@ -94,8 +118,19 @@ module Make (G : GAME) : sig
       domains, so states reached by several domains count once per
       domain); the per-domain memo tables are discarded at the end, so
       parallel solving suits one-shot root evaluations, not incremental
-      re-solving. Progress hooks do not fire from worker domains. *)
+      re-solving. Progress hooks do not fire from worker domains.
+
+      When {!Obs.Ring} tracing is enabled, every memo probe records a
+      [Solver_hit]/[Solver_expand] event (state-key hash, depth) into the
+      probing domain's ring. *)
   val value_par : ?pool:Par.Pool.t -> jobs:int -> G.state -> float
+
+  (** [last_par_stats ()] is the per-domain and cross-domain telemetry of
+      the most recent [value_par] on this instance ([None] before the
+      first, or after [reset]). Computed lazily from the retained worker
+      memo tables — call it after the timed region, not inside it; the
+      tables stay live until the next [value_par] or [reset]. *)
+  val last_par_stats : unit -> par_stats option
 
   (** [best_move s] is a move achieving [value s]; [None] at terminals. *)
   val best_move : G.state -> G.move option

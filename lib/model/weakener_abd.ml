@@ -395,4 +395,5 @@ let best_move = S.best_move
 let explored_states () = S.explored ()
 let reset () = S.reset ()
 let solver_stats () = S.stats ()
+let last_par_stats () = S.last_par_stats ()
 let set_progress = S.set_progress

@@ -72,6 +72,12 @@ val reset : unit -> unit
     cost side of the cost-vs-[k] trade-off reported by the bench harness. *)
 val solver_stats : unit -> Mdp.Solver.stats
 
+(** [last_par_stats ()] is the per-domain and cross-domain telemetry of
+    the most recent parallel [bad_probability] (see
+    {!Mdp.Solver.Make.last_par_stats}): per-domain memo hit rates and the
+    exact duplicated-work percentage the bench PAR section publishes. *)
+val last_par_stats : unit -> Mdp.Solver.par_stats option
+
 (** [set_progress ?interval_states hook] installs a live progress hook on
     the underlying solver (see {!Mdp.Solver.Make.set_progress}) — the
     multi-minute solves at [k >= 3] otherwise emit nothing until done. *)

@@ -61,3 +61,51 @@ let to_json events =
     ]
 
 let write_file path events = Json.write_file path (to_json events)
+
+(* The inverse of [to_json], for round-trip tests and external tooling
+   that post-processes exported traces. Only the phases [ph_string] emits
+   are understood; anything else is a parse error, not a silent drop. *)
+let of_json j =
+  let ( let* ) = Result.bind in
+  let event_of_json i e =
+    let str name = Option.bind (Json.member name e) Json.to_string_opt in
+    let num name = Option.bind (Json.member name e) Json.to_number_opt in
+    let int name = Option.bind (Json.member name e) Json.to_int_opt in
+    let need what = function
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "traceEvents[%d]: missing %s" i what)
+    in
+    let* name = need "name (string)" (str "name") in
+    let* ph = need "ph (string)" (str "ph") in
+    let* ts = need "ts (number)" (num "ts") in
+    let* pid = need "pid (int)" (int "pid") in
+    let* tid = need "tid (int)" (int "tid") in
+    let* phase =
+      match ph with
+      | "B" -> Ok Begin
+      | "E" -> Ok End
+      | "X" -> (
+          match num "dur" with
+          | Some d -> Ok (Complete d)
+          | None -> Error (Printf.sprintf "traceEvents[%d]: X without dur" i))
+      | "i" -> Ok Instant
+      | "C" -> Ok Counter
+      | "M" -> Ok Metadata
+      | ph -> Error (Printf.sprintf "traceEvents[%d]: unknown phase %S" i ph)
+    in
+    let cat = Option.value ~default:"" (str "cat") in
+    let args =
+      match Json.member "args" e with Some (Json.Obj kvs) -> kvs | _ -> []
+    in
+    Ok { name; cat; phase; ts; pid; tid; args }
+  in
+  match Json.member "traceEvents" j with
+  | Some (Json.List l) ->
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest ->
+            let* ev = event_of_json i e in
+            go (i + 1) (ev :: acc) rest
+      in
+      go 0 [] l
+  | _ -> Error "document lacks a traceEvents array"

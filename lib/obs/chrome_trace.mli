@@ -45,3 +45,9 @@ val process_name : pid:int -> string -> event
 val to_json : event list -> Json.t
 
 val write_file : string -> event list -> unit
+
+(** [of_json j] parses a document produced by [to_json] back into its
+    event list (order preserved) — the round-trip the test suite asserts,
+    and the entry point for tooling that post-processes exported traces.
+    Unknown phases are an [Error], not a silent drop. *)
+val of_json : Json.t -> (event list, string) result

@@ -56,6 +56,11 @@ let is_soft_key k =
   has "second" || has "time" || has "latency" || has "duration" || has "gc."
   || has "_ns" || has "ns)" || has "words" || has "heap" || has "collection"
   || has "hit_rate" || has "states/s"
+  (* schema-v3 parallel telemetry: per-domain splits and duplicate-key
+     figures depend on how the scheduler interleaved the worker domains,
+     not on the algorithm ("jobs" itself stays a hard key) *)
+  || has "domain" || has "duplicat" || has "queue" || has "par_solve"
+  || has "utilization" || has "speedup"
 
 let rel_drift ~from ~to_ =
   if from = to_ then 0.0

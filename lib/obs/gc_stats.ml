@@ -23,10 +23,17 @@ let delta (before : sample) (after : sample) =
     top_heap_words = after.Gc.top_heap_words;
   }
 
+(* [Gc.quick_stat] only refreshes [minor_words] at collection
+   boundaries, so a measured region that does not trigger a minor GC
+   would report zero allocation; [Gc.minor_words ()] reads the
+   allocation pointer and is exact. *)
 let measure f =
   let before = sample () in
+  let mw0 = Gc.minor_words () in
   let v = f () in
-  (v, delta before (sample ()))
+  let mw1 = Gc.minor_words () in
+  let d = delta before (sample ()) in
+  (v, { d with minor_words = mw1 -. mw0 })
 
 let allocated_words d = d.minor_words +. d.major_words -. d.promoted_words
 

@@ -114,6 +114,11 @@ type histogram_summary = {
    first bucket has no lower bound, the overflow bucket no upper one). *)
 let percentile (h : hist) q =
   if h.count = 0 then Float.nan
+  else if h.count = 1 then
+    (* every percentile of a single observation is that observation; skip
+       the bucket interpolation, which would otherwise only land here via
+       the closing min/max clamp *)
+    h.vmin
   else begin
     let target = q *. float_of_int h.count in
     let nbuckets = Array.length h.counts in

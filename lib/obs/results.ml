@@ -1,8 +1,10 @@
-let schema_version = 2
+let schema_version = 3
 
-(* v1 documents (no per-span "gc", no histogram percentiles) remain valid:
-   older BENCH_*.json baselines must stay loadable by the differ. *)
-let accepted_versions = [ 1; 2 ]
+(* v1 documents (no per-span "gc", no histogram percentiles) and v2
+   documents (no PAR per-domain telemetry) remain valid: older
+   BENCH_*.json baselines must stay loadable by the differ. v3 only adds
+   optional section-metric fields, so the validator body is shared. *)
+let accepted_versions = [ 1; 2; 3 ]
 
 type row = {
   quantity : string;

@@ -11,7 +11,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "generated_by": "<tool>",
       "generated_at_unix": <float>,
       "experiments": [
@@ -26,13 +26,21 @@
     v}
     Version history: v2 added the per-span ["gc"] objects ({!Gc_stats}),
     [p50]/[p90]/[p99] percentile fields inside histogram snapshots, and
-    [null] as the rendering of non-finite numeric fields. [validate]
-    accepts v1 and v2 documents — saved v1 baselines must stay loadable —
-    and is shared by the smoke schema checker, the differ and the test
-    suite, so the schema cannot silently drift from its validator. *)
+    [null] as the rendering of non-finite numeric fields. v3 added the
+    parallel-engine telemetry the bench PAR section publishes in its
+    section [metrics]: ["spawned_domains"] (int), ["domain_ids"] (int
+    list) and a ["par_solve"] object — per-domain
+    [{"domain", "states", "memo_hits", "memo_misses", "hit_rate"}]
+    entries plus cross-domain ["distinct_keys"], ["duplicated_keys"] and
+    ["duplicated_work_pct"]. All v3 additions live inside the free-form
+    section metrics, so every v3 document is structurally valid v2.
+    [validate] accepts v1–v3 documents — saved baselines must stay
+    loadable — and is shared by the smoke schema checker, the differ and
+    the test suite, so the schema cannot silently drift from its
+    validator. *)
 
 (** The version written by [to_json]; [validate] also accepts earlier
-    versions (currently 1). *)
+    versions (currently 1 and 2). *)
 val schema_version : int
 
 type t

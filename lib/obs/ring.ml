@@ -1,0 +1,506 @@
+type tag =
+  | Solver_expand
+  | Solver_hit
+  | Solver_terminal
+  | Solver_prune
+  | Pool_task_start
+  | Pool_task_stop
+  | Pool_idle_start
+  | Pool_idle_stop
+  | Pool_queue_depth
+  | Sim_step
+  | Sim_deliver
+  | Sim_crash
+  | Adv_decision
+  | Gc_minor
+  | Gc_major
+  | Domain_spawn
+  | Domain_stop
+
+(* Wire codes are part of the dump format: append only, never renumber. *)
+let tag_code = function
+  | Solver_expand -> 0
+  | Solver_hit -> 1
+  | Solver_terminal -> 2
+  | Solver_prune -> 3
+  | Pool_task_start -> 4
+  | Pool_task_stop -> 5
+  | Pool_idle_start -> 6
+  | Pool_idle_stop -> 7
+  | Pool_queue_depth -> 8
+  | Sim_step -> 9
+  | Sim_deliver -> 10
+  | Sim_crash -> 11
+  | Adv_decision -> 12
+  | Gc_minor -> 13
+  | Gc_major -> 14
+  | Domain_spawn -> 15
+  | Domain_stop -> 16
+
+let all_tags =
+  [
+    Solver_expand; Solver_hit; Solver_terminal; Solver_prune; Pool_task_start;
+    Pool_task_stop; Pool_idle_start; Pool_idle_stop; Pool_queue_depth;
+    Sim_step; Sim_deliver; Sim_crash; Adv_decision; Gc_minor; Gc_major;
+    Domain_spawn; Domain_stop;
+  ]
+
+let tag_of_code c = List.find_opt (fun t -> tag_code t = c) all_tags
+
+let tag_name = function
+  | Solver_expand -> "solver_expand"
+  | Solver_hit -> "solver_hit"
+  | Solver_terminal -> "solver_terminal"
+  | Solver_prune -> "solver_prune"
+  | Pool_task_start -> "pool_task_start"
+  | Pool_task_stop -> "pool_task_stop"
+  | Pool_idle_start -> "pool_idle_start"
+  | Pool_idle_stop -> "pool_idle_stop"
+  | Pool_queue_depth -> "pool_queue_depth"
+  | Sim_step -> "sim_step"
+  | Sim_deliver -> "sim_deliver"
+  | Sim_crash -> "sim_crash"
+  | Adv_decision -> "adv_decision"
+  | Gc_minor -> "gc_minor"
+  | Gc_major -> "gc_major"
+  | Domain_spawn -> "domain_spawn"
+  | Domain_stop -> "domain_stop"
+
+(* ---- per-domain rings ------------------------------------------------ *)
+
+(* One event is 4 consecutive [data] slots — tag code, payload a, payload
+   b, timestamp in integer µs — so a record touches one cache line
+   instead of four parallel arrays; the instrumented solver competes with
+   its own memo table for cache, and the interleaved layout keeps the
+   tracer's footprint per event minimal. *)
+type ring = {
+  domain : int;
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+  data : int array;  (* 4 * capacity slots *)
+  mutable next : int;  (* total events ever recorded *)
+  mutable registered : bool;  (* false after [reset] until the next record *)
+  mutable last_ts : float;  (* clock cache for the solver fast path *)
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled v = Atomic.set enabled_flag v
+
+let default_capacity = 65_536
+let capacity_req = Atomic.make default_capacity
+
+let round_pow2 n =
+  let n = max n 1024 in
+  let rec go c = if c >= n then c else go (c * 2) in
+  go 1024
+
+let set_capacity n = Atomic.set capacity_req (round_pow2 n)
+
+(* Every ring ever created, protected by [registry_mutex]. The record path
+   takes the lock only when a ring (re-)registers: once at DLS creation,
+   and once after a [reset] dropped it from the registry — a live domain's
+   ring stays reachable through its DLS slot across resets, so it must
+   re-announce itself or its post-reset events would never appear in a
+   dump. *)
+let registry : ring list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let register r =
+  Mutex.lock registry_mutex;
+  if not (List.memq r !registry) then registry := r :: !registry;
+  r.registered <- true;
+  Mutex.unlock registry_mutex
+
+let make_ring () =
+  let cap = Atomic.get capacity_req in
+  let r =
+    {
+      domain = (Domain.self () :> int);
+      mask = cap - 1;
+      data = Array.make (4 * cap) 0;
+      next = 0;
+      registered = false;
+      last_ts = 0.0;
+    }
+  in
+  register r;
+  r
+
+let ring_key = Domain.DLS.new_key make_ring
+
+(* Solver memo probes fire millions of times per solve and the clock read
+   is the bulk of the record cost, so those tags reuse a cached timestamp
+   refreshed at least every [ts_stride] events (staleness is a few µs —
+   invisible at the analyzer's timeline resolution). Every other tag
+   feeds interval math (task/idle slices, GC phases), so it always reads
+   the clock — and refreshes the cache, keeping per-ring timestamps
+   non-decreasing. *)
+let ts_stride_mask = 63
+
+let record tag a b =
+  if Atomic.get enabled_flag then begin
+    let r = Domain.DLS.get ring_key in
+    if not r.registered then register r;
+    let i = r.next land r.mask in
+    let ts =
+      match tag with
+      | (Solver_expand | Solver_hit | Solver_terminal)
+        when r.next land ts_stride_mask <> 0 ->
+          r.last_ts
+      | _ ->
+          let t = Span.now_us () in
+          r.last_ts <- t;
+          t
+    in
+    let base = 4 * i in
+    r.data.(base) <- tag_code tag;
+    r.data.(base + 1) <- a;
+    r.data.(base + 2) <- b;
+    r.data.(base + 3) <- int_of_float ts;
+    r.next <- r.next + 1
+  end
+
+(* ---- runtime events -------------------------------------------------- *)
+
+(* Runtime events arrive outside the ring discipline (they are drained in
+   bulk from the runtime's own ring files), so they go to plain growable
+   per-ring-id buffers, newest first. *)
+type rt_event = { rt_tag : tag; rt_a : int; rt_ts_us : float }
+
+let rt_buffers : (int, rt_event list ref) Hashtbl.t = Hashtbl.create 8
+let rt_cursor : Runtime_events.cursor option ref = ref None
+
+(* Offset mapping the runtime's monotonic-ns clock onto [Span.now_us],
+   fixed at the first polled event. The first poll's drain latency bounds
+   the alignment error; lanes render correctly regardless. *)
+let rt_offset_us : float option ref = ref None
+
+let rt_buffer ring_id =
+  match Hashtbl.find_opt rt_buffers ring_id with
+  | Some b -> b
+  | None ->
+      let b = ref [] in
+      Hashtbl.replace rt_buffers ring_id b;
+      b
+
+let rt_add ring_id tag a raw_ts =
+  let raw_us = Int64.to_float (Runtime_events.Timestamp.to_int64 raw_ts) /. 1e3 in
+  let offset =
+    match !rt_offset_us with
+    | Some o -> o
+    | None ->
+        let o = raw_us -. Span.now_us () in
+        rt_offset_us := Some o;
+        o
+  in
+  let b = rt_buffer ring_id in
+  b := { rt_tag = tag; rt_a = a; rt_ts_us = raw_us -. offset } :: !b
+
+let rt_callbacks =
+  lazy
+    (let phase_tag = function
+       | Runtime_events.EV_MINOR -> Some Gc_minor
+       | Runtime_events.EV_MAJOR -> Some Gc_major
+       | _ -> None
+     in
+     let runtime_begin ring_id ts phase =
+       match phase_tag phase with
+       | Some t -> rt_add ring_id t 0 ts
+       | None -> ()
+     in
+     let runtime_end ring_id ts phase =
+       match phase_tag phase with
+       | Some t -> rt_add ring_id t 1 ts
+       | None -> ()
+     in
+     let lifecycle ring_id ts kind arg =
+       match kind with
+       | Runtime_events.EV_DOMAIN_SPAWN ->
+           rt_add ring_id Domain_spawn (Option.value arg ~default:0) ts
+       | Runtime_events.EV_DOMAIN_TERMINATE ->
+           rt_add ring_id Domain_stop (Option.value arg ~default:0) ts
+       | _ -> ()
+     in
+     Runtime_events.Callbacks.create ~runtime_begin ~runtime_end ~lifecycle ())
+
+let start_runtime_events () =
+  match !rt_cursor with
+  | Some _ -> Ok ()
+  | None -> (
+      try
+        Runtime_events.start ();
+        rt_cursor := Some (Runtime_events.create_cursor None);
+        Ok ()
+      with e -> Error (Printexc.to_string e))
+
+let poll_runtime_events () =
+  match !rt_cursor with
+  | None -> 0
+  | Some cursor -> (
+      try Runtime_events.read_poll cursor (Lazy.force rt_callbacks) None
+      with _ -> 0)
+
+(* ---- dumping --------------------------------------------------------- *)
+
+type event = { tag : tag; a : int; b : int; ts_us : float }
+
+type domain_dump = {
+  domain : int;
+  recorded : int;
+  dropped : int;
+  events : event list;
+}
+
+type dump = {
+  capacity : int;
+  domains : domain_dump list;
+  runtime : domain_dump list;
+}
+
+let dump_ring r =
+  let cap = r.mask + 1 in
+  let retained = min r.next cap in
+  let first = r.next - retained in
+  let events = ref [] in
+  for k = r.next - 1 downto first do
+    let base = 4 * (k land r.mask) in
+    match tag_of_code r.data.(base) with
+    | Some tag ->
+        events :=
+          {
+            tag;
+            a = r.data.(base + 1);
+            b = r.data.(base + 2);
+            ts_us = float_of_int r.data.(base + 3);
+          }
+          :: !events
+    | None -> ()
+  done;
+  {
+    domain = r.domain;
+    recorded = r.next;
+    dropped = r.next - retained;
+    events = !events;
+  }
+
+let dump () =
+  let rings =
+    Mutex.lock registry_mutex;
+    let rs = !registry in
+    Mutex.unlock registry_mutex;
+    rs
+  in
+  ignore (poll_runtime_events ());
+  let domains =
+    List.filter (fun r -> r.next > 0) rings
+    |> List.map dump_ring
+    |> List.sort (fun a b -> compare a.domain b.domain)
+  in
+  let runtime =
+    Hashtbl.fold
+      (fun ring_id buf acc ->
+        let events =
+          List.rev_map
+            (fun e -> { tag = e.rt_tag; a = e.rt_a; b = 0; ts_us = e.rt_ts_us })
+            !buf
+        in
+        let n = List.length events in
+        if n = 0 then acc
+        else { domain = ring_id; recorded = n; dropped = 0; events } :: acc)
+      rt_buffers []
+    |> List.sort (fun a b -> compare a.domain b.domain)
+  in
+  { capacity = Atomic.get capacity_req; domains; runtime }
+
+let reset () =
+  Mutex.lock registry_mutex;
+  let rs = !registry in
+  registry := [];
+  Mutex.unlock registry_mutex;
+  (* rings still reachable through a live domain's DLS are zeroed so a
+     stale reference cannot resurrect pre-reset events, and marked
+     unregistered so their next record re-announces them; rings of dead
+     domains become garbage *)
+  List.iter
+    (fun r ->
+      r.next <- 0;
+      r.registered <- false)
+    rs;
+  Hashtbl.reset rt_buffers;
+  rt_offset_us := None
+
+(* ---- JSON ------------------------------------------------------------ *)
+
+let schema_id = "blunting-trace/1"
+
+let event_to_json e =
+  Json.List
+    [ Json.Int (tag_code e.tag); Json.Int e.a; Json.Int e.b; Json.Float e.ts_us ]
+
+let domain_dump_to_json d =
+  Json.Obj
+    [
+      ("domain", Json.Int d.domain);
+      ("recorded", Json.Int d.recorded);
+      ("dropped", Json.Int d.dropped);
+      ("events", Json.List (List.map event_to_json d.events));
+    ]
+
+let to_json d =
+  Json.Obj
+    [
+      ("schema", Json.String schema_id);
+      ( "tag_names",
+        Json.Obj
+          (List.map
+             (fun t -> (string_of_int (tag_code t), Json.String (tag_name t)))
+             all_tags) );
+      ("capacity", Json.Int d.capacity);
+      ("domains", Json.List (List.map domain_dump_to_json d.domains));
+      ("runtime", Json.List (List.map domain_dump_to_json d.runtime));
+    ]
+
+let ( let* ) = Result.bind
+
+let event_of_json = function
+  | Json.List [ code; a; b; ts ] -> (
+      match
+        ( Json.to_int_opt code,
+          Json.to_int_opt a,
+          Json.to_int_opt b,
+          Json.to_number_opt ts )
+      with
+      | Some code, Some a, Some b, Some ts_us ->
+          (* unknown codes (from a newer writer) drop silently *)
+          Ok (Option.map (fun tag -> { tag; a; b; ts_us }) (tag_of_code code))
+      | _ -> Error "event cells must be [int, int, int, number]")
+  | _ -> Error "event must be a 4-element array"
+
+let domain_dump_of_json j =
+  let int_field name =
+    match Option.bind (Json.member name j) Json.to_int_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed %s (int)" name)
+  in
+  let* domain = int_field "domain" in
+  let* recorded = int_field "recorded" in
+  let* dropped = int_field "dropped" in
+  let* raw =
+    match Option.bind (Json.member "events" j) Json.to_list_opt with
+    | Some l -> Ok l
+    | None -> Error "missing events array"
+  in
+  let* events =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* e = event_of_json e in
+        Ok (match e with Some e -> e :: acc | None -> acc))
+      (Ok []) raw
+  in
+  Ok { domain; recorded; dropped; events = List.rev events }
+
+let dump_list_of_json j name =
+  match Option.bind (Json.member name j) Json.to_list_opt with
+  | None -> Ok []
+  | Some l ->
+      List.fold_left
+        (fun acc d ->
+          let* acc = acc in
+          let* d = domain_dump_of_json d in
+          Ok (d :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+
+let of_json j =
+  match Option.bind (Json.member "schema" j) Json.to_string_opt with
+  | Some s when s = schema_id ->
+      let capacity =
+        Option.value ~default:default_capacity
+          (Option.bind (Json.member "capacity" j) Json.to_int_opt)
+      in
+      let* domains = dump_list_of_json j "domains" in
+      let* runtime = dump_list_of_json j "runtime" in
+      Ok { capacity; domains; runtime }
+  | Some s -> Error (Printf.sprintf "unsupported trace schema %S" s)
+  | None -> Error "missing schema field (not a blunting trace dump?)"
+
+let write_file path d = Json.write_file path (to_json d)
+
+let load_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents ->
+      let* j = Result.map_error (fun e -> path ^ ": " ^ e) (Json.of_string contents) in
+      Result.map_error (fun e -> path ^ ": " ^ e) (of_json j)
+
+(* ---- Chrome export --------------------------------------------------- *)
+
+let app_pid = 0
+let runtime_pid = 1
+
+let chrome_domain_events ~pid d =
+  let tid = d.domain in
+  let ev = Chrome_trace.event ~pid ~tid in
+  List.filter_map
+    (fun e ->
+      let instant name args =
+        Some (ev ~cat:"trace" ~args ~name ~ts:e.ts_us Chrome_trace.Instant)
+      in
+      match e.tag with
+      | Pool_task_start ->
+          Some
+            (ev ~cat:"pool"
+               ~args:[ ("lo", Json.Int e.a); ("hi", Json.Int e.b) ]
+               ~name:"task" ~ts:e.ts_us Chrome_trace.Begin)
+      | Pool_task_stop ->
+          Some (ev ~cat:"pool" ~name:"task" ~ts:e.ts_us Chrome_trace.End)
+      | Pool_idle_start ->
+          Some (ev ~cat:"pool" ~name:"idle" ~ts:e.ts_us Chrome_trace.Begin)
+      | Pool_idle_stop ->
+          Some (ev ~cat:"pool" ~name:"idle" ~ts:e.ts_us Chrome_trace.End)
+      | Pool_queue_depth ->
+          Some
+            (ev ~cat:"pool"
+               ~args:[ ("depth", Json.Int e.a) ]
+               ~name:"queue_depth" ~ts:e.ts_us Chrome_trace.Counter)
+      | Gc_minor | Gc_major ->
+          let name = tag_name e.tag in
+          Some
+            (ev ~cat:"gc" ~name ~ts:e.ts_us
+               (if e.a = 0 then Chrome_trace.Begin else Chrome_trace.End))
+      | Adv_decision ->
+          instant "adv_decision"
+            [ ("enabled", Json.Int e.a); ("chosen", Json.Int e.b) ]
+      | Solver_expand | Solver_hit | Solver_terminal | Solver_prune ->
+          instant (tag_name e.tag)
+            [ ("key", Json.Int e.a); ("depth", Json.Int e.b) ]
+      | Sim_step | Sim_deliver | Sim_crash ->
+          instant (tag_name e.tag) [ ("id", Json.Int e.a) ]
+      | Domain_spawn | Domain_stop ->
+          instant (tag_name e.tag) [ ("domain", Json.Int e.a) ])
+    d.events
+
+let chrome_events d =
+  let meta =
+    Chrome_trace.process_name ~pid:app_pid "blunting"
+    :: Chrome_trace.process_name ~pid:runtime_pid "ocaml-runtime"
+    :: List.map
+         (fun dd ->
+           Chrome_trace.thread_name ~pid:app_pid ~tid:dd.domain
+             (Printf.sprintf "domain %d" dd.domain))
+         d.domains
+    @ List.map
+        (fun dd ->
+          Chrome_trace.thread_name ~pid:runtime_pid ~tid:dd.domain
+            (Printf.sprintf "runtime ring %d" dd.domain))
+        d.runtime
+  in
+  meta
+  @ List.concat_map (chrome_domain_events ~pid:app_pid) d.domains
+  @ List.concat_map (chrome_domain_events ~pid:runtime_pid) d.runtime

@@ -1,0 +1,154 @@
+(** Per-domain structured event tracing.
+
+    Each domain that records gets its own fixed-capacity ring buffer
+    (created lazily through domain-local storage and registered globally),
+    so the record path takes no lock and never contends with other
+    domains. An event is three integers — an {!tag} code and two
+    tag-specific payload words — plus a wall-clock timestamp on the
+    {!Span.now_us} clock, stored into pre-allocated parallel arrays: the
+    hot path allocates nothing that survives a minor collection (the
+    timestamp read produces one transient boxed float). When the ring
+    wraps, the oldest events are overwritten and counted as dropped.
+
+    Recording is globally flag-gated ({!set_enabled}); the disabled path
+    is a single atomic load and branch, so permanently-instrumented hot
+    loops ({!Mdp.Solver}, {!Par.Pool}, {!Sim.Runtime}) cost nothing when
+    tracing is off. Callers whose payload computation is itself non-free
+    (hashing a state key) should guard with [if Ring.enabled () then ...].
+
+    {!start_runtime_events} additionally subscribes to the OCaml 5
+    runtime's own event stream, so GC phases and domain lifecycle land on
+    the same timeline as the application events; {!poll_runtime_events}
+    drains them (call it after the traced region, from one domain).
+
+    Dumps ({!dump}, {!to_json}) merge every registered ring plus the
+    collected runtime events into one JSON document
+    ([{"schema": "blunting-trace/1", ...}]) that {!of_json} reads back —
+    the contract between trace capture ([--trace-out]) and the analysis
+    toolchain ({!Trace_analysis}, [blunting trace analyze],
+    [bench/analyze.exe]). [chrome_events] renders the same dump with one
+    Perfetto lane per domain. *)
+
+(** Event tags. Payload conventions ([a], [b]):
+    - solver events: [a] = state-key hash, [b] = recursion depth
+      ([Solver_expand] is a memo miss — evaluation of a new state begins;
+      [Solver_prune] is reserved for the work-stealing solver);
+    - pool events: [Pool_task_start]/[stop] bracket one chunk of a
+      parallel region ([a] = first index, [b] = one past the last);
+      [Pool_idle_start]/[stop] bracket a worker blocking on the queue;
+      [Pool_queue_depth] samples the task queue ([a] = depth,
+      [b] = participants);
+    - simulator events: [a] = process id ([Sim_step], [Sim_crash]) or
+      message id ([Sim_deliver]);
+    - [Adv_decision]: a scheduler chose from the enabled set
+      ([a] = enabled-set size, [b] = index of the chosen event);
+    - runtime events: [Gc_minor]/[Gc_major] with [a] = 0 (begin) or 1
+      (end); [Domain_spawn]/[Domain_stop] from the runtime's lifecycle
+      stream. *)
+type tag =
+  | Solver_expand
+  | Solver_hit
+  | Solver_terminal
+  | Solver_prune
+  | Pool_task_start
+  | Pool_task_stop
+  | Pool_idle_start
+  | Pool_idle_stop
+  | Pool_queue_depth
+  | Sim_step
+  | Sim_deliver
+  | Sim_crash
+  | Adv_decision
+  | Gc_minor
+  | Gc_major
+  | Domain_spawn
+  | Domain_stop
+
+(** Stable wire codes for dump files: [tag_code] is injective and
+    [tag_of_code (tag_code t) = Some t]. *)
+val tag_code : tag -> int
+
+val tag_of_code : int -> tag option
+
+(** [tag_name t] is the snake_case name used in dump [tag_names] and
+    reports (e.g. ["solver_hit"]). *)
+val tag_name : tag -> string
+
+(** {1 Recording} *)
+
+(** [enabled ()] is the global recording flag (default off). *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** [set_capacity n] sizes rings created {e after} the call (rounded up to
+    a power of two, minimum 1024; default 65536 events/domain). Existing
+    rings keep their size. *)
+val set_capacity : int -> unit
+
+(** [record tag a b] appends an event to the calling domain's ring; a
+    no-op (one atomic load) when disabled. Solver memo-probe tags
+    ([Solver_expand]/[Solver_hit]/[Solver_terminal]) reuse a cached
+    timestamp refreshed at least every 64 events — they fire millions of
+    times per solve and the clock read dominates the record cost; all
+    other tags (interval and decision events) always read the clock.
+    Timestamps stay non-decreasing within a ring either way. *)
+val record : tag -> int -> int -> unit
+
+(** [reset ()] discards every ring, all collected runtime events and the
+    drop counts; recording state and capacity are kept. *)
+val reset : unit -> unit
+
+(** {1 Runtime events} *)
+
+(** [start_runtime_events ()] starts the OCaml runtime's event stream and
+    opens a cursor on it; [Error] if the runtime refuses (already started
+    with a consumer, unsupported platform). Safe to call once per
+    process. *)
+val start_runtime_events : unit -> (unit, string) result
+
+(** [poll_runtime_events ()] drains pending runtime events (GC phase
+    begin/end, domain spawn/terminate) into the trace; returns how many
+    were consumed, 0 when the stream was never started. Timestamps are
+    mapped onto the {!Span.now_us} clock with an offset taken at the
+    first poll — alignment is approximate (sub-millisecond), good enough
+    for lane rendering. *)
+val poll_runtime_events : unit -> int
+
+(** {1 Dumping} *)
+
+type event = { tag : tag; a : int; b : int; ts_us : float }
+
+type domain_dump = {
+  domain : int;  (** the recording domain's id *)
+  recorded : int;  (** events ever recorded (>= retained) *)
+  dropped : int;  (** overwritten by ring wrap-around *)
+  events : event list;  (** retained events, oldest first *)
+}
+
+type dump = {
+  capacity : int;
+  domains : domain_dump list;  (** sorted by domain id *)
+  runtime : domain_dump list;  (** runtime-event lanes, by runtime ring id *)
+}
+
+(** [dump ()] snapshots every registered ring. Call it after parallel
+    regions have joined (the pool's shutdown provides the needed
+    happens-before); a dump taken while another domain records may see a
+    torn tail. *)
+val dump : unit -> dump
+
+val to_json : dump -> Json.t
+
+(** [of_json j] parses a dump document; [Error] names the first offending
+    field. Unknown tag codes are dropped (forward compatibility). *)
+val of_json : Json.t -> (dump, string) result
+
+val write_file : string -> dump -> unit
+val load_file : string -> (dump, string) result
+
+(** [chrome_events d] renders the dump as Chrome trace events: pid 0 with
+    one named lane per recording domain (task/idle slices, queue-depth
+    counters, instants for solver/simulator events), pid 1 with one lane
+    per runtime-event ring (GC slices, lifecycle instants). *)
+val chrome_events : dump -> Chrome_trace.event list

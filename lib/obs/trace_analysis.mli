@@ -1,0 +1,73 @@
+(** Analysis of ring-buffer trace dumps.
+
+    Consumes a {!Ring.dump} (from [--trace-out] / [Ring.dump]) and
+    computes the questions the parallel-engine work needs answered: where
+    does [value_par] lose against the sequential solve (duplicated memo
+    work across per-domain tables, idle domains), which states are hot,
+    and what the adversary's schedule actually did. Rendered either as a
+    human report ({!pp}) or machine JSON ({!to_json}) — the payloads of
+    [blunting trace analyze] and [bench/analyze.exe].
+
+    Solver figures here are derived from the {e retained} ring events and
+    from state-key {e hashes}, so they are estimates once rings wrap or
+    hashes collide; the exact per-domain duplicate-key counts come from
+    [Mdp.Solver]'s [last_par_stats] and land in the results document's
+    PAR section. The two agree on unwrapped traces. *)
+
+type domain_report = {
+  domain : int;
+  events : int;  (** retained events *)
+  dropped : int;
+  solver_hits : int;
+  solver_misses : int;  (** [Solver_expand] events *)
+  hit_rate : float;  (** hits / (hits + misses), 0 when idle *)
+  busy_us : float;  (** total time inside pool task slices *)
+  idle_us : float;  (** total time inside pool idle slices *)
+  utilization : float;  (** busy / trace duration, 0 without tasks *)
+}
+
+type hot_state = {
+  key_hash : int;
+  expansions : int;  (** times expanded (memo misses) across domains *)
+  hits : int;
+  domains : int;  (** distinct domains that touched the key *)
+}
+
+(** Attribution of adversary decisions recorded by the simulator's run
+    loop: every [Adv_decision] event, with the enabled-set sizes the
+    scheduler chose from and the kinds of the chosen events. *)
+type decision_summary = {
+  decisions : int;
+  forced : int;  (** decisions with a single enabled event *)
+  min_enabled : int;
+  max_enabled : int;
+  mean_enabled : float;
+  steps : int;  (** chosen [Sim_step] events *)
+  delivers : int;
+  crashes : int;
+}
+
+type t = {
+  t0_us : float;  (** earliest event timestamp *)
+  t1_us : float;
+  domains : domain_report list;  (** by domain id *)
+  hot : hot_state list;  (** top-N by expansions, then hits *)
+  total_expansions : int;
+  distinct_keys : int;  (** distinct expanded key hashes *)
+  duplicated_keys : int;  (** hashes expanded on >= 2 domains *)
+  duplicated_work_pct : float;
+      (** 100 * (expansions - distinct) / expansions over >= 2 domains *)
+  queue_depths : (int * int) list;  (** depth -> samples, ascending *)
+  decisions : decision_summary option;  (** None without [Adv_decision]s *)
+  timeline_buckets : int;
+  timeline : (int * float array) list;
+      (** per domain: busy fraction per time bucket *)
+}
+
+(** [analyze ?top ?buckets d] computes the report; [top] (default 10)
+    bounds the hot-state list, [buckets] (default 20) the utilization
+    timeline's resolution. *)
+val analyze : ?top:int -> ?buckets:int -> Ring.dump -> t
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

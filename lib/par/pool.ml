@@ -20,9 +20,14 @@ let jobs t = t.jobs
 let worker_loop t =
   let rec loop () =
     Mutex.lock t.mutex;
-    while Queue.is_empty t.queue && not t.stopping do
-      Condition.wait t.work t.mutex
-    done;
+    if Queue.is_empty t.queue && not t.stopping then begin
+      (* traced as an idle slice only when the worker actually blocks *)
+      Obs.Ring.record Obs.Ring.Pool_idle_start 0 0;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.work t.mutex
+      done;
+      Obs.Ring.record Obs.Ring.Pool_idle_stop 0 0
+    end;
     if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.mutex
     else begin
       let task = Queue.pop t.queue in
@@ -40,6 +45,8 @@ let worker_loop t =
 let spawned = Atomic.make 0
 
 let spawned_domains () = Atomic.get spawned
+
+let domain_ids t = List.map (fun d -> (Domain.get_id d :> int)) t.workers
 
 let create ~jobs =
   if jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
@@ -98,9 +105,11 @@ let chunk_loop r =
        if lo < r.n && (Mutex.lock r.done_mutex; let e = r.error in Mutex.unlock r.done_mutex; e = None)
        then begin
          let hi = min r.n (lo + r.chunk) in
+         Obs.Ring.record Obs.Ring.Pool_task_start lo hi;
          for i = lo to hi - 1 do
            r.results.(i) <- r.f i
          done;
+         Obs.Ring.record Obs.Ring.Pool_task_stop lo hi;
          go ()
        end
      in
@@ -143,6 +152,7 @@ let map t ~n f =
     for _ = 2 to participants do
       Queue.add (fun () -> chunk_loop r) t.queue
     done;
+    Obs.Ring.record Obs.Ring.Pool_queue_depth (Queue.length t.queue) participants;
     Condition.broadcast t.work;
     Mutex.unlock t.mutex;
     chunk_loop r;

@@ -1,4 +1,5 @@
-(** A dependency-free domain pool for data-parallel sections.
+(** A domain pool for data-parallel sections (no dependencies beyond the
+    tracing hooks of {!Obs.Ring}).
 
     OCaml 5 domains are expensive to spawn (~hundreds of microseconds) and
     the runtime caps their total count, so parallel workloads share a pool:
@@ -14,7 +15,14 @@
     deterministic (derive per-index RNG streams from the index, merge
     results positionally). Everything in this module is safe to call from
     the domain that created the pool; pools must not be shared across
-    domains or nested inside a running region. *)
+    domains or nested inside a running region.
+
+    When {!Obs.Ring} tracing is enabled, workers record task slices (one
+    per chunk grabbed from the region cursor), idle slices (blocking on
+    the task queue) and task-queue depth samples into their per-domain
+    rings — the raw material for the per-domain utilization timeline of
+    [blunting trace analyze]. Disabled, the hooks are single atomic
+    loads. *)
 
 type t
 
@@ -41,6 +49,13 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
     every [with_pool] has unwound — normally or exceptionally — this is
     0; the test suite asserts it. *)
 val spawned_domains : unit -> int
+
+(** [domain_ids t] is the runtime {!Domain.id} of each spawned worker, in
+    spawn order ([jobs - 1] entries — the caller participates in regions
+    under its own id, which is not listed). Stable for the pool's
+    lifetime; the bench harness records them in the results document so
+    traces can be joined to the PAR section. *)
+val domain_ids : t -> int list
 
 (** [map t ~n f] is [Array.init n f] with the index space partitioned
     into chunks executed across the pool. [f] runs concurrently on

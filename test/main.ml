@@ -19,6 +19,7 @@ let () =
       ("adversary", Test_adversary.tests);
       ("par", Test_par.tests);
       ("obs", Test_obs.tests);
+      ("obs-ring", Test_ring.tests);
       ("obs-diff", Test_diff.tests);
       ("programs", Test_programs.tests);
       ("programs-benor", Test_programs.ben_or_tests);

@@ -73,6 +73,24 @@ let test_histogram_percentiles () =
   Alcotest.(check bool) "p50 <= p90 <= p99" true (s.p50 <= s.p90 && s.p90 <= s.p99);
   Alcotest.(check bool) "within [min, max]" true (s.min <= s.p50 && s.p99 <= s.max)
 
+(* Regression: one observation must report itself as every percentile
+   even when it lands in the overflow bucket or exactly on a bucket
+   bound, where the interpolation path (rather than the min/max clamp)
+   used to be the only thing producing the answer. *)
+let test_histogram_single_sample () =
+  List.iter
+    (fun v ->
+      let name = Fmt.str "test.obs.single_%h" v in
+      let h = Obs.Metrics.histogram ~buckets:[ 1.0; 10.0 ] name in
+      Obs.Metrics.observe h v;
+      let s = Obs.Metrics.histogram_summary h in
+      Alcotest.(check int) "count" 1 s.count;
+      List.iter
+        (fun (which, got) ->
+          Alcotest.(check (float 0.0)) (Fmt.str "%s of single %g" which v) v got)
+        [ ("p50", s.p50); ("p90", s.p90); ("p99", s.p99); ("min", s.min); ("max", s.max) ])
+    [ 0.37 (* interior *); 10.0 (* exact bound *); 250.0 (* overflow bucket *) ]
+
 let test_snapshot_shape_and_reset () =
   let c = Obs.Metrics.counter "test.obs.reset_me" in
   Obs.Metrics.add c 41;
@@ -377,6 +395,48 @@ let test_results_schema () =
       Obs.Json.Null;
     ]
 
+(* Schema v3 only adds optional section-metric fields, so hand-built v1
+   and v2 documents — stand-ins for the BENCH_*.json baselines saved by
+   earlier versions — must still validate, while unknown future versions
+   stay rejected. *)
+let test_schema_version_compat () =
+  Alcotest.(check int) "current schema version" 3 Obs.Results.schema_version;
+  let minimal_doc v =
+    Obs.Json.Obj
+      [
+        ("schema_version", Obs.Json.Int v);
+        ("generated_by", Obs.Json.String "test suite");
+        ( "experiments",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                [
+                  ("id", Obs.Json.String "E1");
+                  ("title", Obs.Json.String "compat");
+                  ("rows", Obs.Json.List []);
+                  ("metrics", Obs.Json.Obj []);
+                ];
+            ] );
+        ( "metrics",
+          Obs.Json.Obj
+            [
+              ("counters", Obs.Json.Obj []);
+              ("gauges", Obs.Json.Obj []);
+              ("histograms", Obs.Json.Obj []);
+            ] );
+        ("spans", Obs.Json.List []);
+      ]
+  in
+  List.iter
+    (fun v ->
+      match Obs.Results.validate (minimal_doc v) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "v%d document rejected: %s" v e)
+    [ 1; 2; 3 ];
+  match Obs.Results.validate (minimal_doc 4) with
+  | Ok () -> Alcotest.fail "future schema version accepted"
+  | Error _ -> ()
+
 (* ---- log levels ----------------------------------------------------- *)
 
 let test_log_levels () =
@@ -400,6 +460,8 @@ let tests =
     Alcotest.test_case "metrics: histogram semantics" `Quick test_histogram_semantics;
     Alcotest.test_case "metrics: histogram percentiles" `Quick
       test_histogram_percentiles;
+    Alcotest.test_case "metrics: single-sample percentiles" `Quick
+      test_histogram_single_sample;
     Alcotest.test_case "metrics: snapshot shape, reset" `Quick
       test_snapshot_shape_and_reset;
     Alcotest.test_case "json: round-trip" `Quick test_json_round_trip;
@@ -414,5 +476,6 @@ let tests =
       test_solver_stats_memoization;
     Alcotest.test_case "solver: progress hook" `Quick test_solver_progress_hook;
     Alcotest.test_case "results: schema round-trip" `Quick test_results_schema;
+    Alcotest.test_case "results: v1-v3 stay valid" `Quick test_schema_version_compat;
     Alcotest.test_case "log: verbosity levels" `Quick test_log_levels;
   ]

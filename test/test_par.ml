@@ -130,6 +130,68 @@ let test_pool_propagates_exception () =
       | _ -> Alcotest.fail "expected an exception"
       | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
 
+let test_pool_domain_ids () =
+  Alcotest.(check int) "no workers before" 0 (Par.Pool.spawned_domains ());
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let ids = Par.Pool.domain_ids pool in
+      Alcotest.(check int) "jobs - 1 workers listed" 3 (List.length ids);
+      Alcotest.(check int)
+        "ids are distinct" 3
+        (List.length (List.sort_uniq compare ids));
+      Alcotest.(check bool)
+        "caller is not listed" false
+        (List.mem (Domain.self () :> int) ids);
+      Alcotest.(check int) "spawned count matches" 3 (Par.Pool.spawned_domains ());
+      (* stable across reads for the pool's lifetime *)
+      Alcotest.(check (list int)) "ids stable" ids (Par.Pool.domain_ids pool));
+  Alcotest.(check int) "all joined after with_pool" 0 (Par.Pool.spawned_domains ());
+  (* a single-job pool spawns nothing: regions run on the caller *)
+  Par.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (list int)) "jobs=1 lists no workers" [] (Par.Pool.domain_ids pool))
+
+(* ---- per-domain telemetry of the last value_par ----------------------- *)
+
+let test_last_par_stats () =
+  Atomic_solver.reset ();
+  Alcotest.(check bool)
+    "no telemetry before any value_par" true
+    (Atomic_solver.last_par_stats () = None);
+  (* sequential state count: the yardstick the duplicate figures are
+     measured against *)
+  let _ = Atomic_solver.value Model.Weakener_atomic.init in
+  let seq_states = Atomic_solver.explored () in
+  Atomic_solver.reset ();
+  let _ = Atomic_solver.value_par ~jobs:2 Model.Weakener_atomic.init in
+  (match Atomic_solver.last_par_stats () with
+  | None -> Alcotest.fail "value_par left no telemetry"
+  | Some p ->
+      Alcotest.(check bool) "at least one participant" true (p.domains <> []);
+      let ids = List.map (fun (d : Mdp.Solver.domain_stats) -> d.domain_id) p.domains in
+      Alcotest.(check (list int)) "participants sorted by domain id" (List.sort compare ids) ids;
+      let summed =
+        List.fold_left
+          (fun acc (d : Mdp.Solver.domain_stats) -> acc + d.stats.memo_misses)
+          0 p.domains
+      in
+      Alcotest.(check bool) "some states evaluated on workers" true (summed > 0);
+      Alcotest.(check bool)
+        "distinct <= total evaluated" true
+        (p.distinct_keys <= summed && p.distinct_keys > 0);
+      Alcotest.(check bool)
+        "worker tables cover no more than the reachable set" true
+        (p.distinct_keys <= seq_states);
+      Alcotest.(check bool)
+        "duplicated keys within distinct" true
+        (p.duplicated_keys >= 0 && p.duplicated_keys <= p.distinct_keys);
+      exact "duplicated work pct consistent"
+        (100.0 *. float_of_int (summed - p.distinct_keys) /. float_of_int summed)
+        p.duplicated_work_pct);
+  (* reset discards the retained tables along with the memo *)
+  Atomic_solver.reset ();
+  Alcotest.(check bool)
+    "reset clears telemetry" true
+    (Atomic_solver.last_par_stats () = None)
+
 let test_rng_stream_pure () =
   (* streams are pure functions of (seed, index): re-derivation agrees,
      and distinct indices give distinct streams *)
@@ -158,6 +220,9 @@ let tests =
     Alcotest.test_case "pool map is positional" `Quick test_pool_map_positional;
     Alcotest.test_case "pool re-raises worker exceptions" `Quick
       test_pool_propagates_exception;
+    Alcotest.test_case "pool reports worker domain ids" `Quick test_pool_domain_ids;
+    Alcotest.test_case "value_par leaves per-domain telemetry" `Quick
+      test_last_par_stats;
     Alcotest.test_case "Rng.stream is pure in (seed, index)" `Quick
       test_rng_stream_pure;
   ]

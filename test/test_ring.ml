@@ -1,0 +1,263 @@
+(* Tests for the per-domain tracing ring: enable gating, record/dump
+   accounting, wrap-around drops, the dump JSON round-trip, the Chrome
+   trace export/parse round-trip over a multi-domain dump (lane
+   assignment, per-lane timestamp order), and the trace analyzer on a
+   synthetic dump with known duplicate work. *)
+
+(* Every test starts from a clean slate and leaves tracing disabled: the
+   suite shares one process with the fuzz and par tests, which also
+   record when tracing is on. *)
+let with_tracing f =
+  Obs.Ring.reset ();
+  Obs.Ring.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Ring.set_enabled false;
+      Obs.Ring.reset ())
+    f
+
+let test_disabled_is_noop () =
+  Obs.Ring.reset ();
+  Obs.Ring.set_enabled false;
+  Obs.Ring.record Obs.Ring.Sim_step 1 0;
+  Obs.Ring.record Obs.Ring.Solver_expand 42 1;
+  let d = Obs.Ring.dump () in
+  Alcotest.(check int) "nothing recorded" 0 (List.length d.Obs.Ring.domains);
+  Alcotest.(check bool) "flag reads false" false (Obs.Ring.enabled ())
+
+let test_record_dump_accounting () =
+  with_tracing @@ fun () ->
+  Obs.Ring.record Obs.Ring.Solver_expand 11 1;
+  Obs.Ring.record Obs.Ring.Solver_hit 11 2;
+  Obs.Ring.record Obs.Ring.Adv_decision 4 2;
+  Obs.Ring.set_enabled false;
+  let d = Obs.Ring.dump () in
+  match d.domains with
+  | [ dd ] ->
+      Alcotest.(check int) "recording domain id" (Domain.self () :> int) dd.domain;
+      Alcotest.(check int) "recorded" 3 dd.recorded;
+      Alcotest.(check int) "dropped" 0 dd.dropped;
+      Alcotest.(check (list string))
+        "tags in record order"
+        [ "solver_expand"; "solver_hit"; "adv_decision" ]
+        (List.map (fun (e : Obs.Ring.event) -> Obs.Ring.tag_name e.tag) dd.events);
+      Alcotest.(check (list int))
+        "payload a preserved" [ 11; 11; 4 ]
+        (List.map (fun (e : Obs.Ring.event) -> e.a) dd.events);
+      let ts = List.map (fun (e : Obs.Ring.event) -> e.ts_us) dd.events in
+      Alcotest.(check bool) "timestamps monotone" true (List.sort compare ts = ts)
+  | ds -> Alcotest.failf "expected 1 domain dump, got %d" (List.length ds)
+
+(* A domain keeps its DLS ring across [reset] — its events must show up
+   in dumps taken after the reset (the ring re-registers on record). *)
+let test_survives_reset () =
+  with_tracing @@ fun () ->
+  Obs.Ring.record Obs.Ring.Sim_step 1 0;
+  Obs.Ring.reset ();
+  Obs.Ring.record Obs.Ring.Sim_crash 2 0;
+  let d = Obs.Ring.dump () in
+  match d.domains with
+  | [ dd ] ->
+      Alcotest.(check int) "only the post-reset event" 1 dd.recorded;
+      Alcotest.(check (list string))
+        "pre-reset event gone" [ "sim_crash" ]
+        (List.map (fun (e : Obs.Ring.event) -> Obs.Ring.tag_name e.tag) dd.events)
+  | ds -> Alcotest.failf "expected 1 domain dump, got %d" (List.length ds)
+
+(* Wrap-around: [set_capacity] only sizes rings created after the call,
+   so record from a freshly spawned domain (fresh DLS slot => fresh
+   ring) rather than this one, whose ring already exists. *)
+let test_wrap_drops_oldest () =
+  Obs.Ring.reset ();
+  Obs.Ring.set_capacity 1024;
+  Obs.Ring.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Ring.set_enabled false;
+      Obs.Ring.set_capacity 65536;
+      Obs.Ring.reset ())
+  @@ fun () ->
+  let total = 1500 in
+  let did =
+    Domain.join
+      (Domain.spawn (fun () ->
+           for i = 1 to total do
+             Obs.Ring.record Obs.Ring.Sim_step i 0
+           done;
+           (Domain.self () :> int)))
+  in
+  let d = Obs.Ring.dump () in
+  Alcotest.(check int) "capacity rounded as requested" 1024 d.capacity;
+  match List.find_opt (fun (dd : Obs.Ring.domain_dump) -> dd.domain = did) d.domains with
+  | None -> Alcotest.fail "spawned domain's ring missing from dump"
+  | Some dd ->
+      Alcotest.(check int) "recorded counts every event" total dd.recorded;
+      Alcotest.(check int) "dropped = overflow" (total - 1024) dd.dropped;
+      Alcotest.(check int) "retained = capacity" 1024 (List.length dd.events);
+      let a_of (e : Obs.Ring.event) = e.a in
+      Alcotest.(check int)
+        "oldest retained event survives"
+        (total - 1024 + 1)
+        (a_of (List.hd dd.events));
+      Alcotest.(check int)
+        "newest event is last" total
+        (a_of (List.nth dd.events (List.length dd.events - 1)))
+
+let test_json_round_trip () =
+  with_tracing @@ fun () ->
+  Obs.Ring.record Obs.Ring.Solver_expand 7 1;
+  Obs.Ring.record Obs.Ring.Pool_queue_depth 3 2;
+  Obs.Ring.set_enabled false;
+  let d = Obs.Ring.dump () in
+  match Obs.Ring.of_json (Obs.Ring.to_json d) with
+  | Error e -> Alcotest.failf "dump did not parse back: %s" e
+  | Ok d' ->
+      (* the JSON printer's %.17g float repr makes this exact *)
+      Alcotest.(check bool) "parsed dump equals original" true (d = d')
+
+(* Satellite: multi-domain Chrome export -> parse round-trip. Two domains
+   record slices and instants; the exported trace must keep every event,
+   put each domain's events on its own lane (tid = domain id, pid 0) and
+   keep timestamps non-decreasing within each lane. *)
+let test_chrome_round_trip_two_domains () =
+  with_tracing @@ fun () ->
+  Obs.Ring.record Obs.Ring.Pool_task_start 0 10;
+  Obs.Ring.record Obs.Ring.Solver_expand 42 1;
+  Obs.Ring.record Obs.Ring.Solver_hit 42 2;
+  Obs.Ring.record Obs.Ring.Pool_task_stop 0 10;
+  let other =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Obs.Ring.record Obs.Ring.Pool_idle_start 0 0;
+           Obs.Ring.record Obs.Ring.Pool_idle_stop 0 0;
+           Obs.Ring.record Obs.Ring.Sim_deliver 3 0;
+           (Domain.self () :> int)))
+  in
+  Obs.Ring.set_enabled false;
+  let d = Obs.Ring.dump () in
+  Alcotest.(check int) "two domains recorded" 2 (List.length d.domains);
+  let events = Obs.Ring.chrome_events d in
+  match Obs.Chrome_trace.of_json (Obs.Chrome_trace.to_json events) with
+  | Error e -> Alcotest.failf "chrome trace did not parse back: %s" e
+  | Ok events' ->
+      Alcotest.(check int)
+        "every event survives the round-trip" (List.length events)
+        (List.length events');
+      Alcotest.(check bool) "round-trip preserves events" true (events = events');
+      let is_meta (e : Obs.Chrome_trace.event) = e.phase = Obs.Chrome_trace.Metadata in
+      let app =
+        List.filter (fun (e : Obs.Chrome_trace.event) -> e.pid = 0 && not (is_meta e)) events'
+      in
+      let lanes = List.sort_uniq compare (List.map (fun (e : Obs.Chrome_trace.event) -> e.tid) app) in
+      let domains =
+        List.sort compare (List.map (fun (dd : Obs.Ring.domain_dump) -> dd.domain) d.domains)
+      in
+      Alcotest.(check (list int)) "one lane per recording domain" domains lanes;
+      Alcotest.(check bool) "spawned domain has its own lane" true (List.mem other lanes);
+      (* per-domain event counts carry over to the lanes *)
+      List.iter
+        (fun (dd : Obs.Ring.domain_dump) ->
+          let on_lane =
+            List.filter (fun (e : Obs.Chrome_trace.event) -> e.tid = dd.domain) app
+          in
+          Alcotest.(check int)
+            (Fmt.str "lane %d event count" dd.domain)
+            (List.length dd.events) (List.length on_lane);
+          let ts = List.map (fun (e : Obs.Chrome_trace.event) -> e.ts) on_lane in
+          Alcotest.(check bool)
+            (Fmt.str "lane %d timestamps non-decreasing" dd.domain)
+            true
+            (List.sort compare ts = ts))
+        d.domains
+
+(* The analyzer over a hand-built dump: two domains expand an overlapping
+   key set, one decision event, known busy/idle windows. *)
+let test_analyze_synthetic_dump () =
+  let ev tag a b ts_us = { Obs.Ring.tag; a; b; ts_us } in
+  let d0 =
+    {
+      Obs.Ring.domain = 0;
+      recorded = 5;
+      dropped = 0;
+      events =
+        [
+          ev Obs.Ring.Pool_task_start 0 4 0.0;
+          ev Obs.Ring.Solver_expand 101 1 10.0;
+          ev Obs.Ring.Solver_hit 101 2 20.0;
+          ev Obs.Ring.Solver_expand 202 1 30.0;
+          ev Obs.Ring.Pool_task_stop 0 4 100.0;
+        ];
+    }
+  in
+  let d1 =
+    {
+      Obs.Ring.domain = 1;
+      recorded = 5;
+      dropped = 0;
+      events =
+        [
+          ev Obs.Ring.Pool_idle_start 0 0 0.0;
+          ev Obs.Ring.Pool_idle_stop 0 0 50.0;
+          ev Obs.Ring.Adv_decision 3 1 55.0;
+          ev Obs.Ring.Sim_step 1 0 60.0;
+          ev Obs.Ring.Solver_expand 101 1 70.0;
+        ];
+    }
+  in
+  let dump = { Obs.Ring.capacity = 1024; domains = [ d0; d1 ]; runtime = [] } in
+  let t = Obs.Trace_analysis.analyze ~top:5 ~buckets:4 dump in
+  Alcotest.(check int) "total expansions" 3 t.total_expansions;
+  Alcotest.(check int) "distinct keys" 2 t.distinct_keys;
+  Alcotest.(check int) "key 101 expanded on both domains" 1 t.duplicated_keys;
+  Alcotest.(check (float 1e-9))
+    "duplicated work pct = (3 - 2) / 3" (100.0 /. 3.0) t.duplicated_work_pct;
+  (match t.hot with
+  | (h : Obs.Trace_analysis.hot_state) :: _ ->
+      Alcotest.(check int) "hottest key" 101 h.key_hash;
+      Alcotest.(check int) "its expansions" 2 h.expansions;
+      Alcotest.(check int) "domains touching it" 2 h.domains
+  | [] -> Alcotest.fail "hot-state list is empty");
+  (match List.find_opt (fun (r : Obs.Trace_analysis.domain_report) -> r.domain = 0) t.domains with
+  | Some r ->
+      Alcotest.(check int) "d0 misses" 2 r.solver_misses;
+      Alcotest.(check int) "d0 hits" 1 r.solver_hits;
+      Alcotest.(check (float 1e-9)) "d0 hit rate" (1.0 /. 3.0) r.hit_rate;
+      Alcotest.(check (float 1e-9)) "d0 busy time" 100.0 r.busy_us;
+      Alcotest.(check (float 1e-9)) "d0 utilization" 1.0 r.utilization
+  | None -> Alcotest.fail "domain 0 missing from report");
+  (match List.find_opt (fun (r : Obs.Trace_analysis.domain_report) -> r.domain = 1) t.domains with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "d1 idle time" 50.0 r.idle_us;
+      Alcotest.(check (float 1e-9)) "d1 never busy" 0.0 r.busy_us
+  | None -> Alcotest.fail "domain 1 missing from report");
+  (match t.decisions with
+  | Some (s : Obs.Trace_analysis.decision_summary) ->
+      Alcotest.(check int) "one decision" 1 s.decisions;
+      Alcotest.(check int) "none forced" 0 s.forced;
+      Alcotest.(check int) "enabled-set size" 3 s.min_enabled;
+      Alcotest.(check int) "step chosen" 1 s.steps;
+      Alcotest.(check int) "no deliveries" 0 s.delivers
+  | None -> Alcotest.fail "decision summary missing");
+  (* the report renders and exports without tripping over the synthetic data *)
+  let rendered = Fmt.str "%a" Obs.Trace_analysis.pp t in
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report mentions duplicated work" true
+    (contains ~affix:"duplicated" rendered);
+  match Obs.Trace_analysis.to_json t with
+  | Obs.Json.Obj _ -> ()
+  | _ -> Alcotest.fail "to_json is not an object"
+
+let tests =
+  [
+    Alcotest.test_case "disabled record is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "record/dump accounting" `Quick test_record_dump_accounting;
+    Alcotest.test_case "ring survives reset" `Quick test_survives_reset;
+    Alcotest.test_case "wrap drops oldest events" `Quick test_wrap_drops_oldest;
+    Alcotest.test_case "dump JSON round-trip" `Quick test_json_round_trip;
+    Alcotest.test_case "chrome round-trip, two domains" `Quick
+      test_chrome_round_trip_two_domains;
+    Alcotest.test_case "analyzer on synthetic dump" `Quick test_analyze_synthetic_dump;
+  ]
