@@ -16,7 +16,7 @@ let () =
   let usage () =
     Fmt.epr
       "usage: diff.exe [--paper-tol F] [--value-rtol F] [--time-rtol F] \
-       [--no-spans] BASELINE.json CURRENT.json@.";
+       [--no-spans] [--min-speedup F] BASELINE.json CURRENT.json@.";
     exit 2
   in
   let float_arg name v rest k =
@@ -43,6 +43,10 @@ let () =
     | "--no-spans" :: rest ->
         config := { !config with compare_spans = false };
         parse rest
+    | "--min-speedup" :: v :: rest ->
+        float_arg "--min-speedup" v rest (fun f rest ->
+            config := { !config with min_speedup = Some f };
+            parse rest)
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
         paths := arg :: !paths;
         parse rest

@@ -14,9 +14,11 @@
    solver counters into a pure-math section like E4.
 
    --expect-par SECTION (repeatable) asserts the named section carries the
-   schema-v3 parallel telemetry: an integer "spawned_domains" >= 1, a
+   schema-v3/v4 parallel telemetry: an integer "spawned_domains" >= 1, a
    non-empty "domain_ids" integer list, and a "par_solve" object with a
-   numeric "duplicated_work_pct" and at least one per-domain entry — the
+   numeric "duplicated_work_pct", at least one per-domain entry, and the
+   v4 work-stealing counters (steals, claim_hits, claim_misses,
+   pruned_subtrees) — the
    guard that a multi-job bench run actually published who ran and what
    each domain's memo table did. *)
 
@@ -132,7 +134,14 @@ let () =
                           fail "par_solve lacks numeric duplicated_work_pct");
                       (match Obs.Json.member "domains" ps with
                       | Some (Obs.Json.List (_ :: _)) -> ()
-                      | _ -> fail "par_solve.domains must be a non-empty list")
+                      | _ -> fail "par_solve.domains must be a non-empty list");
+                      List.iter
+                        (fun key ->
+                          match Obs.Json.member key ps with
+                          | Some (Obs.Json.Int n) when n >= 0 -> ()
+                          | _ -> fail "par_solve lacks integer %s" key)
+                        [ "steals"; "claim_hits"; "claim_misses";
+                          "pruned_subtrees" ]
                   | _ -> fail "expected par_solve object"))
             !expect_par;
           Fmt.pr "%s: ok (schema v%d, %d experiment sections)@." path

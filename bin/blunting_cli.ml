@@ -89,6 +89,16 @@ let solve_cmd =
             "Emit live solver progress to stderr (memoized states, hit rate, \
              states/sec) every 50k states explored.")
   in
+  let prune_arg =
+    Arg.(
+      value & flag
+      & info [ "prune" ]
+          ~doc:
+            "Enable Theorem 4.2 interval branch-and-bound pruning on the ABD \
+             solve: subtrees that provably cannot change a max or expectation \
+             node's value are cut. The reported probability is bit-identical; \
+             only the explored state count shrinks.")
+  in
   let trace_out_arg =
     Arg.(
       value
@@ -99,7 +109,7 @@ let solve_cmd =
              task/idle slices, GC) during the solve and write the dump to \
              $(docv); analyze it with $(b,blunting trace analyze).")
   in
-  let run () k atomic servers abd_c progress trace_out jobs =
+  let run () k atomic servers abd_c prune progress trace_out jobs =
     if progress then
       Model.Weakener_abd.set_progress
         (Some (fun p -> Fmt.epr "  [mdp] %a@." Mdp.Solver.pp_progress p));
@@ -119,7 +129,7 @@ let solve_cmd =
     else begin
       let v =
         Model.Weakener_abd.bad_probability ~atomic_c:(not abd_c) ~servers ~jobs
-          ~k ()
+          ~prune ~k ()
       in
       let st = Model.Weakener_abd.solver_stats () in
       Fmt.pr "weakener with ABD^%d registers (%d replicas%s):@." k servers
@@ -129,6 +139,8 @@ let solve_cmd =
       Fmt.pr "  Theorem 4.2 upper bound on the former   = %.6f@."
         (Core.Bound.weakener_instance ~k);
       Fmt.pr "  solver: %a@." Mdp.Solver.pp_stats st;
+      if prune then
+        Fmt.pr "  pruned subtrees: %d@." (Model.Weakener_abd.pruned_subtrees ());
       match Model.Weakener_abd.last_par_stats () with
       | Some ps -> Fmt.pr "  %a@." Mdp.Solver.pp_par_stats ps
       | None -> ()
@@ -144,7 +156,7 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const run $ verbosity_term $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg
-      $ progress_arg $ trace_out_arg $ jobs_term)
+      $ prune_arg $ progress_arg $ trace_out_arg $ jobs_term)
 
 (* ---- figure1 -------------------------------------------------------- *)
 
@@ -531,9 +543,25 @@ let bench_diff_cmd =
   let no_spans_arg =
     Arg.(value & flag & info [ "no-spans" ] ~doc:"Skip span-duration comparison.")
   in
-  let run () baseline current paper_tol value_rtol time_rtol no_spans =
+  let min_speedup_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"F"
+          ~doc:
+            "Require CURRENT's PAR section to show a sequential/parallel \
+             solve-time ratio of at least $(docv) (hard failure below, or \
+             when the PAR timings are missing).")
+  in
+  let run () baseline current paper_tol value_rtol time_rtol no_spans min_speedup =
     let config =
-      { Obs.Diff.paper_tol; value_rtol; time_rtol; compare_spans = not no_spans }
+      {
+        Obs.Diff.paper_tol;
+        value_rtol;
+        time_rtol;
+        compare_spans = not no_spans;
+        min_speedup;
+      }
     in
     match Obs.Diff.run_files ~config ~baseline ~current Fmt.stdout with
     | Ok rc -> exit rc
@@ -550,7 +578,7 @@ let bench_diff_cmd =
   Cmd.v (Cmd.info "bench-diff" ~doc)
     Term.(
       const run $ verbosity_term $ baseline_arg $ current_arg $ paper_tol_arg
-      $ value_rtol_arg $ time_rtol_arg $ no_spans_arg)
+      $ value_rtol_arg $ time_rtol_arg $ no_spans_arg $ min_speedup_arg)
 
 (* ---- fuzz ----------------------------------------------------------- *)
 

@@ -14,6 +14,9 @@ module M = struct
   let states = counter ~help:"distinct states memoized" "mdp.states_explored"
   let depth = gauge ~help:"deepest recursion seen" "mdp.max_depth"
   let solve_seconds = histogram ~help:"value() wall time per root solve" "mdp.solve_seconds"
+  let pruned = counter ~help:"subtrees cut by interval pruning" "mdp.pruned_subtrees"
+  let steals = counter ~help:"work-stealing deque steals" "mdp.steals"
+  let claim_misses = counter ~help:"shared-memo probes that hit a live claim" "mdp.claim_misses"
 end
 
 module type GAME = sig
@@ -31,6 +34,7 @@ module type GAME = sig
 end
 
 exception Cyclic
+exception Prune_unsound of string
 
 type stats = {
   states : int;  (** distinct states currently memoized *)
@@ -56,12 +60,19 @@ type par_stats = {
   distinct_keys : int;
   duplicated_keys : int;
   duplicated_work_pct : float;
+  steals : int;
+  claim_hits : int;
+  claim_misses : int;
+  pruned_subtrees : int;
 }
 
 let pp_par_stats ppf p =
-  Fmt.pf ppf "%d domains, %d distinct keys, %d duplicated (%.1f%% of work):@,"
+  Fmt.pf ppf
+    "%d domains, %d distinct keys, %d duplicated (%.1f%% of work), %d \
+     steals, %d claim hits / %d claim misses, %d pruned:@,"
     (List.length p.domains) p.distinct_keys p.duplicated_keys
-    p.duplicated_work_pct;
+    p.duplicated_work_pct p.steals p.claim_hits p.claim_misses
+    p.pruned_subtrees;
   List.iter
     (fun d -> Fmt.pf ppf "  domain %d: %a@," d.domain_id pp_stats d.stats)
     p.domains
@@ -80,17 +91,18 @@ module Make (G : GAME) = struct
   type mark = In_progress | Value of float
 
   (* All mutable solver state lives in an instance, so parallel solves can
-     give every domain a private memo table and merge the counters
-     afterwards. States are keyed by their canonical [G.encode] string:
-     probing hashes a flat short string instead of walking a deep model
-     state with the polymorphic hash (which either stops early and
-     collides, or is told to traverse ~500 nodes per probe). *)
+     keep per-worker counters separate and merge them afterwards. States
+     are keyed by their canonical [G.encode] string: probing hashes a flat
+     short string instead of walking a deep model state with the
+     polymorphic hash (which either stops early and collides, or is told
+     to traverse ~500 nodes per probe). *)
   type t = {
     memo : (string, mark) Hashtbl.t;
     mutable hits : int;
     mutable misses : int;
     mutable states : int;  (* states memoized with a final Value *)
     mutable max_depth : int;
+    mutable prune_cuts : int;  (* subtrees cut by interval pruning *)
     mutable progress_hook : (progress -> unit) option;
     mutable progress_interval : int;
     mutable solve_start : float;
@@ -104,6 +116,7 @@ module Make (G : GAME) = struct
       misses = 0;
       states = 0;
       max_depth = 0;
+      prune_cuts = 0;
       progress_hook = None;
       progress_interval = default_progress_interval;
       solve_start = Obs.Span.now_us ();
@@ -138,7 +151,7 @@ module Make (G : GAME) = struct
      output until they return. The hook fires from inside the recursion,
      every [interval] newly memoized states — so never after [value] has
      returned — alongside an info log on the blunting.mdp source. Worker
-     instances carry no hook, so parallel solves never fire it off the
+     recursions carry no hook, so parallel solves never fire it off the
      calling domain. *)
   let progress_tick i =
     if i.misses mod i.progress_interval = 0 then begin
@@ -147,7 +160,124 @@ module Make (G : GAME) = struct
       match i.progress_hook with None -> () | Some hook -> hook p
     end
 
-  let rec value_at i depth s =
+  (* ---- admissible value bounds ---------------------------------------
+
+     Interval branch-and-bound needs an a-priori interval [lo, hi]
+     containing every reachable state's value. Game values here are
+     probabilities, so (0, 1) is always admissible; Theorem 4.2 supplies
+     sharper instance bounds for the weakener games (Prob[O_a] below,
+     the blunting bound above). Soundness additionally needs [hi] to
+     bound the COMPUTED (floating-point) values, not just the exact
+     ones: that holds whenever the fold that produces a value cannot
+     round above [hi] — in particular for [hi = 1] with power-of-two
+     chance probabilities (exact scaling, and round-to-nearest is
+     monotone with 1.0 representable), which covers every model game.
+     [prune_audit] re-evaluates every would-be cut and raises
+     [Prune_unsound] if the cut would have changed the parent's max —
+     the fuzz oracle's mode. *)
+  let bound_lo = ref 0.0
+  let bound_hi = ref 1.0
+  let prune_audit = ref false
+
+  let set_bounds ~lo ~hi =
+    if not (lo <= hi) then invalid_arg "Mdp.Solver.set_bounds: need lo <= hi";
+    bound_lo := lo;
+    bound_hi := hi
+
+  let bounds () = (!bound_lo, !bound_hi)
+  let set_prune_audit b = prune_audit := b
+
+  (* The expectimax fold over one state's moves, shared verbatim between
+     the sequential recursion and the work-stealing shared-memo recursion
+     so both compute bit-identical values: Float.max over moves starting
+     at -inf, left-to-right [acc +. (p *. v)] over chance branches
+     starting at 0.
+
+     With [prune] two admissible cuts apply, neither of which can change
+     the value actually returned (so pruned and unpruned solves agree
+     bitwise, and only full, exact values are ever memoized):
+     - max cut: once [acc >= hi], every remaining child value is <= hi
+       <= acc, so the rest of the max-fold is the identity;
+     - chance cut: before each chance child, bound the rest of the fold
+       by substituting [hi] for every unevaluated child — each +./*. is
+       monotone under round-to-nearest, so the substituted fold is >=
+       the computed one. If even that bound is <= the parent's [acc],
+       the chance value cannot win the max; the partial sum (<= the
+       bound) is returned and [Float.max acc partial = acc] as with the
+       full value. Chance values are transition values, never memoized,
+       so returning the partial sum is invisible outside the cut. *)
+  let fold_value ~prune ~on_prune ~child depth s ms =
+    let hi = !bound_hi in
+    let audit = !prune_audit in
+    let chance acc dist =
+      let rec full partial = function
+        | [] -> partial
+        | (p, s') :: rest -> full (partial +. (p *. child (depth + 1) s')) rest
+      in
+      let upper partial rest =
+        List.fold_left (fun u (p, _) -> u +. (p *. hi)) partial rest
+      in
+      let rec go partial = function
+        | [] -> partial
+        | (p, s') :: rest as pending ->
+            if prune && upper partial pending <= acc then begin
+              on_prune ();
+              if audit then begin
+                let v = full partial pending in
+                if Float.max acc v <> acc then
+                  raise
+                    (Prune_unsound
+                       (Fmt.str
+                          "chance cut at depth %d: bound %.17g <= acc %.17g \
+                           but full value %.17g beats it"
+                          depth (upper partial pending) acc v));
+                v
+              end
+              else partial
+            end
+            else go (partial +. (p *. child (depth + 1) s')) rest
+      in
+      go 0.0 dist
+    in
+    let rec full acc = function
+      | [] -> acc
+      | m :: rest ->
+          let v =
+            match G.apply s m with
+            | G.Det s' -> child (depth + 1) s'
+            | G.Chance dist -> chance acc dist
+          in
+          full (Float.max acc v) rest
+    in
+    let rec go acc = function
+      | [] -> acc
+      | m :: rest as pending ->
+          if prune && acc >= hi then begin
+            on_prune ();
+            if audit then begin
+              let v = full acc pending in
+              if v <> acc then
+                raise
+                  (Prune_unsound
+                     (Fmt.str
+                        "max cut at depth %d: acc %.17g >= hi %.17g but full \
+                         fold reaches %.17g"
+                        depth acc hi v));
+              v
+            end
+            else acc
+          end
+          else
+            let v =
+              match G.apply s m with
+              | G.Det s' -> child (depth + 1) s'
+              | G.Chance dist -> chance acc dist
+            in
+            go (Float.max acc v) rest
+    in
+    go neg_infinity ms
+
+  let rec value_at ~prune i depth s =
     if depth > i.max_depth then i.max_depth <- depth;
     let key = G.encode s in
     match Hashtbl.find_opt i.memo key with
@@ -172,22 +302,41 @@ module Make (G : GAME) = struct
                   depth;
               G.terminal_value s
           | ms ->
-              List.fold_left
-                (fun acc m -> Float.max acc (transition_value i depth (G.apply s m)))
-                neg_infinity ms
+              fold_value ~prune
+                ~on_prune:(fun () ->
+                  i.prune_cuts <- i.prune_cuts + 1;
+                  if Obs.Ring.enabled () then
+                    Obs.Ring.record Obs.Ring.Solver_prune (Hashtbl.hash key)
+                      depth)
+                ~child:(fun d s' -> value_at ~prune i d s')
+                depth s ms
         in
         Hashtbl.replace i.memo key (Value v);
         i.states <- i.states + 1;
         v
 
-  and transition_value i depth = function
-    | G.Det s -> value_at i (depth + 1) s
+  let transition_value i depth = function
+    | G.Det s -> value_at ~prune:false i (depth + 1) s
     | G.Chance dist ->
-        List.fold_left (fun acc (p, s) -> acc +. (p *. value_at i (depth + 1) s)) 0.0 dist
+        List.fold_left
+          (fun acc (p, s) -> acc +. (p *. value_at ~prune:false i (depth + 1) s))
+          0.0 dist
+
+  (* The cross-domain telemetry of the most recent [value_par] on this
+     instance. Computed eagerly at the end of the parallel region (the
+     per-worker counters and the shared table's resolved count make it
+     O(workers), unlike the old per-domain-table key walk) and cleared at
+     the start of EVERY root solve — a reused solver must never report a
+     previous run's telemetry after a sequential solve overwrote the
+     work it describes. *)
+  let last_par : par_stats option ref = ref None
+
+  let last_par_stats () = !last_par
 
   (* Root-call bracketing: arm the per-solve telemetry baselines, then land
      the instance deltas in the process-wide registry once, at the end. *)
   let start_solve i =
+    last_par := None;
     i.solve_start <- Obs.Span.now_us ();
     i.solve_base_misses <- i.misses
 
@@ -200,7 +349,11 @@ module Make (G : GAME) = struct
   let root_call i span_name f =
     start_solve i;
     let before = stats_of i in
-    let finish () = publish_delta before (stats_of i) in
+    let pruned_before = i.prune_cuts in
+    let finish () =
+      publish_delta before (stats_of i);
+      Obs.Metrics.add M.pruned (i.prune_cuts - pruned_before)
+    in
     match Obs.Span.time ~observe:M.solve_seconds span_name f with
     | v, _ ->
         finish ();
@@ -209,7 +362,8 @@ module Make (G : GAME) = struct
         finish ();
         raise e
 
-  let value s = root_call default "mdp.value" (fun () -> value_at default 0 s)
+  let value ?(prune = false) s =
+    root_call default "mdp.value" (fun () -> value_at ~prune default 0 s)
 
   let best_move s =
     match G.moves s with
@@ -235,61 +389,16 @@ module Make (G : GAME) = struct
         Some (snd best)
 
   let explored () = default.states
-
-  (* The per-domain instances of the most recent [value_par], retained so
-     [last_par_stats] can compute the cross-domain duplicate-key figures
-     lazily — counting key overlaps walks every worker table, which must
-     not happen inside the timed solve. Cleared by [reset] and replaced
-     by the next parallel solve. *)
-  let last_par : (int * t) list ref = ref []
-
-  let last_par_stats () =
-    match !last_par with
-    | [] -> None
-    | workers ->
-        let keys : (string, int) Hashtbl.t = Hashtbl.create 65_536 in
-        List.iter
-          (fun (_, (w : t)) ->
-            Hashtbl.iter
-              (fun k mark ->
-                match mark with
-                | Value _ ->
-                    Hashtbl.replace keys k
-                      (1 + Option.value ~default:0 (Hashtbl.find_opt keys k))
-                | In_progress -> ())
-              w.memo)
-          workers;
-        let distinct = Hashtbl.length keys in
-        let duplicated =
-          Hashtbl.fold (fun _ c acc -> if c >= 2 then acc + 1 else acc) keys 0
-        in
-        let total =
-          List.fold_left (fun acc (_, (w : t)) -> acc + w.states) 0 workers
-        in
-        Some
-          {
-            domains =
-              List.map
-                (fun (domain_id, w) -> { domain_id; stats = stats_of w })
-                workers
-              |> List.sort (fun a b -> compare a.domain_id b.domain_id);
-            distinct_keys = distinct;
-            duplicated_keys = duplicated;
-            duplicated_work_pct =
-              (if total = 0 then 0.0
-               else
-                 100.0
-                 *. float_of_int (total - distinct)
-                 /. float_of_int total);
-          }
+  let pruned_subtrees () = default.prune_cuts
 
   let reset () =
-    last_par := [];
+    last_par := None;
     Hashtbl.reset default.memo;
     default.hits <- 0;
     default.misses <- 0;
     default.states <- 0;
     default.max_depth <- 0;
+    default.prune_cuts <- 0;
     (* re-arm the per-solve telemetry too: a reused instance must not
        compute its second solve's states/sec against the first solve's
        start time or cumulative miss count *)
@@ -298,26 +407,45 @@ module Make (G : GAME) = struct
 
   (* ---- parallel solving ------------------------------------------------
 
-     The root frontier: expand the game tree a few plies down (without
-     evaluating), hand the distinct frontier states to the pool — each
-     domain evaluates its share against a private memo table — and fold
-     the frontier values back up through the expanded prefix with exactly
-     the sequential solver's arithmetic (Float.max over moves,
-     left-to-right probability-weighted sum over chance branches). Every
-     frontier value is the exact game value of its state, so the merged
-     root value is bit-identical to the sequential one. *)
+     Work-stealing over a sharded shared memo. The game tree is expanded
+     a few plies (without evaluating) to a frontier of distinct subtree
+     roots; the frontier-leaf indices are dealt round-robin into one
+     Chase–Lev deque per worker, and [jobs] workers drain their own deque
+     LIFO, stealing the oldest leaf from a victim when empty. Every state
+     evaluation goes through one {!Par.Sharded_tbl} keyed on canonical
+     encode strings: [find_or_claim] guarantees exactly one worker
+     evaluates each state (so, unlike the old per-domain-table scheme,
+     no work is duplicated — [distinct_keys] equals the sequential state
+     count and [duplicated_keys] is 0 by construction), and the claim
+     protocol doubles as cycle detection (re-entering your own claim is
+     exactly the sequential [In_progress] re-entry).
 
-  type plan =
-    | P_term of float
-    | P_leaf of int  (* index into the frontier array *)
-    | P_max of plan list
-    | P_exp of (float * plan) list
+     A worker probing another worker's live claim does not idle: it
+     HELPS, evaluating the claimed state's children through the shared
+     table (the same work the owner needs, each child again claimed by
+     exactly one worker), then spins briefly for the owner's exact
+     value. Waits only ever follow game-DAG edges downward — a worker
+     holding a claim is executing inside that state's subtree, so every
+     wait chain descends strictly and bottoms out at a worker that is
+     not waiting; on a cyclic game some worker re-enters its own claim
+     and [Cyclic] propagates, as sequentially.
+
+     Values are bit-identical to the sequential solve at every job count
+     because each state is evaluated exactly once, by [fold_value]'s
+     sequential arithmetic, from child values that are themselves unique;
+     induction over the (acyclic) state graph closes the argument. *)
 
   type pre =
     | R_term of float
     | R_state of G.state * int  (* frontier state at its tree depth *)
     | R_max of pre list
     | R_exp of (float * pre) list
+
+  type plan =
+    | P_term of float
+    | P_leaf of int  (* index into the frontier array *)
+    | P_max of plan list
+    | P_exp of (float * plan) list
 
   let rec expand depth limit s =
     match G.moves s with
@@ -391,8 +519,132 @@ module Make (G : GAME) = struct
     in
     go 2 (-1)
 
-  let value_par ?pool ~jobs s =
-    if jobs <= 1 then value s
+  (* Per-worker counters. A worker is a logical id in [0, jobs); the pool
+     domain that runs its steal loop records its runtime domain id at
+     loop entry (1:1 per solve — a domain may run several workers'
+     loops, but only sequentially, after the previous loop finished). *)
+  type worker = {
+    wid : int;
+    mutable w_domain : int;
+    mutable w_hits : int;
+    mutable w_misses : int;
+    mutable w_depth : int;
+    mutable w_claim_misses : int;
+    mutable w_steals : int;
+    mutable w_pruned : int;
+  }
+
+  (* Internal unwind used when another worker already failed: the real
+     exception is kept aside and re-raised by [value_par]; workers seeing
+     the abort flag just leave quietly (their claims stay unresolved,
+     which is fine — the whole solve is being thrown away). Without it, a
+     worker spin-waiting on a claim whose owner died (say, of [Cyclic])
+     would wait forever. *)
+  exception Abort
+
+  let rec shared_value ~abort ~prune tbl w depth s =
+    if depth > w.w_depth then w.w_depth <- depth;
+    let key = G.encode s in
+    match Par.Sharded_tbl.find_or_claim tbl key ~owner:w.wid with
+    | `Value v ->
+        w.w_hits <- w.w_hits + 1;
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Claim_hit (Hashtbl.hash key) depth;
+        v
+    | `Busy o when o = w.wid -> raise Cyclic
+    | `Busy o ->
+        w.w_claim_misses <- w.w_claim_misses + 1;
+        if Obs.Ring.enabled () then Obs.Ring.record Obs.Ring.Claim_miss o depth;
+        help ~abort ~prune tbl w depth s key
+    | `Claimed ->
+        w.w_misses <- w.w_misses + 1;
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Solver_expand (Hashtbl.hash key) depth;
+        let v =
+          match G.moves s with
+          | [] ->
+              if Obs.Ring.enabled () then
+                Obs.Ring.record Obs.Ring.Solver_terminal (Hashtbl.hash key)
+                  depth;
+              G.terminal_value s
+          | ms ->
+              fold_value ~prune
+                ~on_prune:(fun () ->
+                  w.w_pruned <- w.w_pruned + 1;
+                  if Obs.Ring.enabled () then
+                    Obs.Ring.record Obs.Ring.Solver_prune (Hashtbl.hash key)
+                      depth)
+                ~child:(fun d s' -> shared_value ~abort ~prune tbl w d s')
+                depth s ms
+        in
+        Par.Sharded_tbl.resolve tbl key v;
+        v
+
+  (* Another worker owns the claim on [s]. Evaluate [s]'s children
+     through the shared table — the claim protocol hands each to exactly
+     one worker, so this is the owner's own pending work, not a
+     duplicate — then wait for the owner's exact value. Note the helper
+     never computes a value for [s] itself: [s]'s value must come from
+     the owner's single [fold_value], or prune-cut folds could disagree
+     with it. *)
+  and help ~abort ~prune tbl w depth s key =
+    (match G.moves s with
+    | [] -> ()
+    | ms ->
+        List.iter
+          (fun m ->
+            match G.apply s m with
+            | G.Det s' ->
+                ignore (shared_value ~abort ~prune tbl w (depth + 1) s')
+            | G.Chance dist ->
+                List.iter
+                  (fun (_, s') ->
+                    ignore (shared_value ~abort ~prune tbl w (depth + 1) s'))
+                  dist)
+          ms);
+    let rec await probes =
+      match Par.Sharded_tbl.get tbl key with
+      | Some v -> v
+      | None ->
+          if Atomic.get abort then raise Abort;
+          (* short spins first: with a core per domain the owner is
+             folding over children that are all resolved now, so the
+             wait is brief. If the value still hasn't appeared after
+             ~256 probes the owner is likely preempted (more domains
+             than cores) — sleep so it can actually run; cpu_relax
+             never releases the core and would burn the owner's whole
+             timeslice. *)
+          if probes < 256 then
+            for _ = 1 to 32 do
+              Domain.cpu_relax ()
+            done
+          else Unix.sleepf 0.0002;
+          await (probes + 1)
+    in
+    await 0
+
+  let merge_by_domain workers =
+    let tbl : (int, stats) Hashtbl.t = Hashtbl.create 8 in
+    Array.iter
+      (fun w ->
+        let s =
+          Option.value
+            ~default:{ states = 0; memo_hits = 0; memo_misses = 0; max_depth = 0 }
+            (Hashtbl.find_opt tbl w.w_domain)
+        in
+        Hashtbl.replace tbl w.w_domain
+          {
+            states = s.states + w.w_misses;
+            memo_hits = s.memo_hits + w.w_hits;
+            memo_misses = s.memo_misses + w.w_misses;
+            max_depth = max s.max_depth w.w_depth;
+          })
+      workers;
+    Hashtbl.fold (fun domain_id stats acc -> { domain_id; stats } :: acc) tbl []
+    |> List.sort (fun a b -> compare a.domain_id b.domain_id)
+
+  let value_par ?pool ?(prune = false) ~jobs s =
+    if jobs <= 1 then value ~prune s
     else
       root_call default "mdp.value_par" @@ fun () ->
       let plan, leaves = compile (frontier ~jobs s) in
@@ -400,44 +652,131 @@ module Make (G : GAME) = struct
       Log.info (fun f -> f "value_par: %d frontier states on %d jobs" nleaves jobs);
       if nleaves = 0 then eval_plan [||] plan
       else begin
-        (* one private instance per participating domain, created lazily
-           and collected for the stats merge *)
-        let created = ref [] in
-        let created_mutex = Mutex.create () in
-        let dls =
-          Domain.DLS.new_key (fun () ->
-              let inst = make_instance () in
-              Mutex.lock created_mutex;
-              created := ((Domain.self () :> int), inst) :: !created;
-              Mutex.unlock created_mutex;
-              inst)
+        let tbl : float Par.Sharded_tbl.t = Par.Sharded_tbl.create () in
+        let deques = Array.init jobs (fun _ -> Par.Deque.create ()) in
+        Array.iteri (fun i _ -> Par.Deque.push deques.(i mod jobs) i) leaves;
+        let workers =
+          Array.init jobs (fun wid ->
+              {
+                wid;
+                w_domain = -1;
+                w_hits = 0;
+                w_misses = 0;
+                w_depth = 0;
+                w_claim_misses = 0;
+                w_steals = 0;
+                w_pruned = 0;
+              })
         in
-        let run_leaves pool =
-          Par.Pool.map pool ~n:nleaves (fun i ->
-              let inst = Domain.DLS.get dls in
-              let s, depth = leaves.(i) in
-              value_at inst depth s)
+        (* leaf values are published to the caller by the pool region's
+           join; each index is written exactly once (deque items are
+           handed out exactly once), so NaN survives only on a bug *)
+        let values = Array.make nleaves Float.nan in
+        let abort = Atomic.make false in
+        let first_error : exn option Atomic.t = Atomic.make None in
+        let eval_leaf w i =
+          let s, depth = leaves.(i) in
+          values.(i) <- shared_value ~abort ~prune tbl w depth s
         in
-        let values =
-          match pool with
-          | Some pool -> run_leaves pool
-          | None -> Par.Pool.with_pool ~jobs run_leaves
+        let worker_loop wid =
+          let w = workers.(wid) in
+          w.w_domain <- (Domain.self () :> int);
+          (* drain the local deque LIFO; when empty, sweep the other
+             deques for the oldest leaf. Leaves are only pushed before
+             the region starts, so a sweep seeing every deque [Empty]
+             means no work will ever appear again — but a [Contended]
+             verdict is inconclusive (the CAS lost to another thief),
+             so the sweep restarts after a backoff. *)
+          let rec drain () =
+            match Par.Deque.pop deques.(wid) with
+            | Some i ->
+                eval_leaf w i;
+                drain ()
+            | None -> hunt 0 false
+          and hunt k contended =
+            if Atomic.get abort then ()
+            else if k >= jobs - 1 then begin
+              if contended then begin
+                Domain.cpu_relax ();
+                hunt 0 false
+              end
+            end
+            else
+              let victim = (wid + 1 + k) mod jobs in
+              match Par.Deque.steal deques.(victim) with
+              | Par.Deque.Stolen i ->
+                  w.w_steals <- w.w_steals + 1;
+                  if Obs.Ring.enabled () then
+                    Obs.Ring.record Obs.Ring.Steal victim i;
+                  eval_leaf w i;
+                  drain ()
+              | Par.Deque.Contended -> hunt (k + 1) true
+              | Par.Deque.Empty -> hunt (k + 1) contended
+          in
+          (* a worker that fails publishes the exception and trips the
+             abort flag so the others stop waiting on its claims; workers
+             themselves always return normally, and the caller re-raises
+             the first real error after the region joins *)
+          try drain () with
+          | Abort -> ()
+          | e ->
+              ignore (Atomic.compare_and_set first_error None (Some e));
+              Atomic.set abort true
         in
-        (* Deterministic merge of the per-domain work counters into the
-           calling instance (sum; states explored by several domains count
-           once per domain — parallel work, not distinct-state count). The
-           worker memo tables are retained in [last_par] for the lazy
-           duplicate-key telemetry, but not consulted by later solves: a
-           subsequent sequential solve re-explores; parallel roots are for
-           one-shot values. *)
-        List.iter
-          (fun (_, (w : t)) ->
-            default.hits <- default.hits + w.hits;
-            default.misses <- default.misses + w.misses;
-            default.states <- default.states + w.states;
-            default.max_depth <- max default.max_depth w.max_depth)
-          !created;
-        last_par := !created;
+        (match pool with
+        | Some pool -> Par.Pool.scatter pool ~n:jobs worker_loop
+        | None ->
+            Par.Pool.with_pool ~jobs (fun pool ->
+                Par.Pool.scatter pool ~n:jobs worker_loop));
+        (match Atomic.get first_error with
+        | Some e -> raise e
+        | None -> ());
+        (* Deterministic merge of the per-worker counters into the calling
+           instance. With the shared memo every state is evaluated exactly
+           once, so the summed misses equal the distinct-state count and
+           [stats ()] reports the same explored figure as a sequential
+           solve of the same root. *)
+        let distinct = Par.Sharded_tbl.resolved tbl in
+        let total = ref 0 in
+        Array.iter
+          (fun w ->
+            total := !total + w.w_misses;
+            default.hits <- default.hits + w.w_hits;
+            default.misses <- default.misses + w.w_misses;
+            default.max_depth <- max default.max_depth w.w_depth;
+            default.prune_cuts <- default.prune_cuts + w.w_pruned)
+          workers;
+        default.states <- default.states + distinct;
+        let steals =
+          Array.fold_left (fun a w -> a + w.w_steals) 0 workers
+        in
+        let claim_hits = Array.fold_left (fun a w -> a + w.w_hits) 0 workers in
+        let claim_misses =
+          Array.fold_left (fun a w -> a + w.w_claim_misses) 0 workers
+        in
+        let pruned_subtrees =
+          Array.fold_left (fun a w -> a + w.w_pruned) 0 workers
+        in
+        Obs.Metrics.add M.steals steals;
+        Obs.Metrics.add M.claim_misses claim_misses;
+        last_par :=
+          Some
+            {
+              domains = merge_by_domain workers;
+              distinct_keys = distinct;
+              (* exactly-once evaluation: no key is ever claimed twice *)
+              duplicated_keys = 0;
+              duplicated_work_pct =
+                (if !total = 0 then 0.0
+                 else
+                   100.0
+                   *. float_of_int (!total - distinct)
+                   /. float_of_int !total);
+              steals;
+              claim_hits;
+              claim_misses;
+              pruned_subtrees;
+            };
         eval_plan values plan
       end
 end

@@ -16,11 +16,11 @@ module type GAME = sig
   type state
   type move
 
+  type transition = Det of state | Chance of (float * state) list
+
   (** [moves s] lists the adversary's choices; [\[\]] marks terminal
       states. *)
   val moves : state -> move list
-
-  type transition = Det of state | Chance of (float * state) list
 
   (** [apply s m] is either a deterministic successor or a chance step with
       the given distribution (probabilities must sum to 1). *)
@@ -42,6 +42,12 @@ end
 
 exception Cyclic
 
+(** Raised (only) in prune-audit mode when an interval cut would have
+    changed a computed value — see [set_prune_audit]. The payload pins the
+    offending cut: kind, depth, the bound that justified the cut and the
+    full value that beat it. *)
+exception Prune_unsound of string
+
 (** Counters describing one solver instance's work since its last [reset]:
     distinct states memoized, memo-table hits/misses, and the deepest
     recursion reached. Aggregates across all instances also land in
@@ -62,25 +68,35 @@ val hit_rate : stats -> float
 val pp_stats : Format.formatter -> stats -> unit
 
 (** One parallel participant's work, keyed by its runtime domain id (the
-    id {!Par.Pool.domain_ids} and trace dumps use). *)
+    id {!Par.Pool.domain_ids} and trace dumps use). Under the shared-memo
+    solver a participant's [states] and [memo_misses] both count the
+    states it won the claim for and evaluated; [memo_hits] counts its
+    probes answered by an already-resolved entry (recorded as
+    [Claim_hit] in traces). *)
 type domain_stats = { domain_id : int; stats : stats }
 
-(** Cross-domain telemetry of the most recent [value_par]: which share of
-    the parallel work was wasted re-exploring states another domain also
-    memoized. [distinct_keys] is the number of distinct state keys across
-    every per-domain memo table (equal to the sequential solve's state
-    count for the same root); [duplicated_keys] counts keys present in at
-    least two tables; [duplicated_work_pct] is
-    [100 * (sum of per-domain states - distinct) / sum] — the fraction of
-    parallel state evaluations that were redundant, the quantity the
-    work-stealing/shared-memo rewrite must drive toward 0. Exact (whole
-    keys, not hashes), unlike the ring-trace estimate of
+(** Cross-domain telemetry of the most recent [value_par].
+    [distinct_keys] is the number of distinct state keys resolved in the
+    shared memo — equal to the sequential solve's state count for the
+    same root (unpruned). The claim protocol evaluates every key exactly
+    once, so [duplicated_keys] is 0 and [duplicated_work_pct] is 0.0 by
+    construction; the fields remain so results documents can be compared
+    against pre-rewrite baselines, where they measured the work the old
+    private-memo scheme wasted. [steals] counts successful deque steals,
+    [claim_hits]/[claim_misses] the shared-memo probes answered by a
+    resolved value / by another worker's live claim (the helping
+    protocol), and [pruned_subtrees] the interval cuts taken (0 unless
+    [~prune:true]). All exact, unlike the ring-trace estimates of
     [Obs.Trace_analysis]. *)
 type par_stats = {
   domains : domain_stats list;  (** sorted by domain id *)
   distinct_keys : int;
   duplicated_keys : int;
   duplicated_work_pct : float;
+  steals : int;
+  claim_hits : int;
+  claim_misses : int;
+  pruned_subtrees : int;
 }
 
 val pp_par_stats : Format.formatter -> par_stats -> unit
@@ -102,34 +118,55 @@ val default_progress_interval : int
 val log_src : Logs.src
 
 module Make (G : GAME) : sig
-  (** [value s] is the optimal (adversary-maximal) probability from [s]. *)
-  val value : G.state -> float
+  (** [value ?prune s] is the optimal (adversary-maximal) probability from
+      [s]. With [~prune:true], chance-node children whose interval upper
+      bound (every unevaluated child at the [hi] of [bounds ()]) cannot
+      beat the parent max are cut, and max folds stop once the
+      accumulator reaches [hi] — both cuts are value-exact (the returned
+      value is bit-identical to the unpruned solve; see [set_bounds] for
+      the admissibility requirement), but fewer states are explored, so
+      [explored ()] may be smaller. Only fully-evaluated state values
+      enter the memo, so pruned and unpruned solves may share an
+      instance. *)
+  val value : ?prune:bool -> G.state -> float
 
-  (** [value_par ?pool ~jobs s] is [value s] computed on [jobs] domains:
-      the game tree is expanded a few plies to a frontier of distinct
-      subtree roots, each domain solves its share against a private memo
-      table, and the frontier values fold back through the expanded
-      prefix with the sequential solver's exact arithmetic — the result
-      is bit-identical to [value s] at every job count. [jobs <= 1] is
-      exactly [value s]. With [pool] the caller's pool is reused,
-      otherwise a fresh one is created for the call.
+  (** [value_par ?pool ?prune ~jobs s] is [value s] computed by [jobs]
+      cooperating workers over one shared sharded memo
+      ({!Par.Sharded_tbl}): the game tree is expanded a few plies to a
+      frontier of distinct subtree roots dealt into per-worker
+      work-stealing deques ({!Par.Deque}); each worker drains its own
+      deque and steals from the others when empty. Every state evaluation
+      claims its key in the shared table first, so each state is
+      evaluated by exactly one worker — no duplicated work — and a worker
+      probing another's live claim helps by evaluating that state's
+      children before waiting for the owner's value. The result is
+      bit-identical to [value s] at every job count, and (unpruned) the
+      summed worker evaluations equal the sequential solve's state count.
+      [jobs <= 1] is exactly [value ?prune s]. With [pool] the caller's
+      pool is reused ([pool] must have at least [jobs] slots to run all
+      workers concurrently; fewer slots still terminate — a participant
+      finishing one worker loop picks up the next — but with reduced
+      parallelism), otherwise a fresh pool is created for the call.
 
-      Work counters merge into this instance's [stats] (summed across
-      domains, so states reached by several domains count once per
-      domain); the per-domain memo tables are discarded at the end, so
-      parallel solving suits one-shot root evaluations, not incremental
-      re-solving. Progress hooks do not fire from worker domains.
+      Work counters merge into this instance's [stats]: states/misses
+      gain the distinct-state count, hits the shared-memo probe hits.
+      Cycle detection is preserved — a worker re-entering its own claim
+      raises [Cyclic], exactly the sequential [In_progress] re-entry.
+      Progress hooks do not fire from worker domains.
 
-      When {!Obs.Ring} tracing is enabled, every memo probe records a
-      [Solver_hit]/[Solver_expand] event (state-key hash, depth) into the
-      probing domain's ring. *)
-  val value_par : ?pool:Par.Pool.t -> jobs:int -> G.state -> float
+      When {!Obs.Ring} tracing is enabled, workers record
+      [Solver_expand] (claim won, evaluation begins), [Claim_hit]
+      (probe answered by a resolved value), [Claim_miss] (probe hit a
+      live claim; helping begins), [Steal] (successful deque steal) and
+      [Solver_prune] (interval cut) events into their domains' rings. *)
+  val value_par : ?pool:Par.Pool.t -> ?prune:bool -> jobs:int -> G.state -> float
 
-  (** [last_par_stats ()] is the per-domain and cross-domain telemetry of
-      the most recent [value_par] on this instance ([None] before the
-      first, or after [reset]). Computed lazily from the retained worker
-      memo tables — call it after the timed region, not inside it; the
-      tables stay live until the next [value_par] or [reset]. *)
+  (** [last_par_stats ()] is the cross-domain telemetry of the most recent
+      [value_par] on this instance — [None] before the first, after
+      [reset], and after any subsequent root solve ([value], [best_move]
+      or [value_par] itself clear it on entry, so the report can never
+      describe work an intervening solve overwrote). Computed eagerly
+      when [value_par] returns; calling this costs nothing. *)
   val last_par_stats : unit -> par_stats option
 
   (** [best_move s] is a move achieving [value s]; [None] at terminals. *)
@@ -141,6 +178,39 @@ module Make (G : GAME) : sig
   (** [stats ()] is this instance's work since the last [reset]. *)
   val stats : unit -> stats
 
+  (** {2 Interval pruning}
+
+      Branch-and-bound needs an a-priori interval [lo, hi] containing
+      every reachable state's value. Defaults to [(0, 1)] — always
+      admissible for probabilities. Theorem 4.2 gives sharper instance
+      bounds for the weakener games: [Prob\[O_a\]] below and the blunting
+      bound above. Soundness additionally requires [hi] to bound the
+      {e computed} (floating-point) child values, not only the exact
+      ones; this holds for [hi = 1] with power-of-two chance
+      probabilities (every model game), because round-to-nearest is
+      monotone and the products/sums cannot round above a representable
+      1.0. *)
+
+  (** [set_bounds ~lo ~hi] installs the admissible value interval used by
+      [~prune:true] solves. Raises [Invalid_argument] unless [lo <= hi].
+      Instance-global: affects subsequent solves until changed. *)
+  val set_bounds : lo:float -> hi:float -> unit
+
+  (** [bounds ()] is the current [(lo, hi)]. *)
+  val bounds : unit -> float * float
+
+  (** [set_prune_audit true] makes every subsequent pruned solve evaluate
+      each would-be cut subtree anyway and raise {!Prune_unsound} if the
+      cut would have changed the parent's value — the pruning-soundness
+      fuzz oracle's mode. Audit solves explore as much as unpruned ones
+      (plus the verification folds); [pruned_subtrees ()] still counts
+      the cuts that fired. Default off. *)
+  val set_prune_audit : bool -> unit
+
+  (** [pruned_subtrees ()] is the number of interval cuts taken since the
+      last [reset] (sequential and parallel solves combined). *)
+  val pruned_subtrees : unit -> int
+
   (** [set_progress ?interval_states hook] installs (or, with [None],
       removes) a progress hook for this instance. It fires synchronously
       from inside the recursion every [interval_states] newly memoized
@@ -149,7 +219,8 @@ module Make (G : GAME) : sig
       [blunting.mdp] source, hook or not. *)
   val set_progress : ?interval_states:int -> (progress -> unit) option -> unit
 
-  (** [reset ()] clears the memo table, zeroes [stats], and re-arms the
+  (** [reset ()] clears the memo table, zeroes [stats] (including the
+      pruned-subtree count), clears [last_par_stats], and re-arms the
       per-solve telemetry baselines (solve start time and the per-solve
       miss base), so a reused instance reports sane [elapsed_s] and
       [states_per_sec] on its next solve. *)

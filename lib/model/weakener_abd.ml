@@ -389,10 +389,12 @@ let init ?(atomic_c = true) ?(servers = 3) ~k () : Game.state =
     cread = None;
   }
 
-let bad_probability ?pool ?(atomic_c = true) ?(servers = 3) ?(jobs = 1) ~k () =
-  S.value_par ?pool ~jobs (init ~atomic_c ~servers ~k ())
+let bad_probability ?pool ?(atomic_c = true) ?(servers = 3) ?(jobs = 1)
+    ?(prune = false) ~k () =
+  S.value_par ?pool ~prune ~jobs (init ~atomic_c ~servers ~k ())
 let best_move = S.best_move
 let explored_states () = S.explored ()
+let pruned_subtrees () = S.pruned_subtrees ()
 let reset () = S.reset ()
 let solver_stats () = S.stats ()
 let last_par_stats () = S.last_par_stats ()

@@ -44,12 +44,15 @@ val init : ?atomic_c:bool -> ?servers:int -> k:k -> unit -> Game.state
     Exponential in [k]; practical for [k <= 4] (atomic [C]) and [k <= 2]
     (ABD [C]). [jobs] (default 1) solves the root frontier on that many
     domains via {!Mdp.Solver.Make.value_par}; the value is bit-identical
-    at every job count. *)
+    at every job count. [prune] (default [false]) enables the Theorem 4.2
+    interval branch-and-bound cuts ({!Mdp.Solver.Make.value}'s [~prune]);
+    the value is unchanged, the explored set only shrinks. *)
 val bad_probability :
   ?pool:Par.Pool.t ->
   ?atomic_c:bool ->
   ?servers:int ->
   ?jobs:int ->
+  ?prune:bool ->
   k:k ->
   unit ->
   float
@@ -61,6 +64,10 @@ val best_move : Game.state -> Game.move option
 
 (** [explored_states ()] is the cumulative number of memoized states. *)
 val explored_states : unit -> int
+
+(** [pruned_subtrees ()] is the number of branch-and-bound cuts taken
+    since the last [reset] (0 unless [bad_probability ~prune:true]). *)
+val pruned_subtrees : unit -> int
 
 (** [reset ()] clears the solver's memo table (states are keyed by the full
     state including [k], so solving several [k] in sequence is safe; reset

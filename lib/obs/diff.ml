@@ -15,6 +15,7 @@ type config = {
   value_rtol : float;
   time_rtol : float;
   compare_spans : bool;
+  min_speedup : float option;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     (* wall-clock and GC figures legitimately move with machine load *)
     time_rtol = 0.5;
     compare_spans = true;
+    min_speedup = None;
   }
 
 type report = {
@@ -56,11 +58,14 @@ let is_soft_key k =
   has "second" || has "time" || has "latency" || has "duration" || has "gc."
   || has "_ns" || has "ns)" || has "words" || has "heap" || has "collection"
   || has "hit_rate" || has "states/s"
-  (* schema-v3 parallel telemetry: per-domain splits and duplicate-key
-     figures depend on how the scheduler interleaved the worker domains,
-     not on the algorithm ("jobs" itself stays a hard key) *)
+  (* schema-v3/v4 parallel telemetry: per-domain splits, duplicate-key
+     figures and the steal/claim/helping counters depend on how the
+     scheduler interleaved the worker domains, not on the algorithm
+     ("jobs" itself stays a hard key); prune counts move with the
+     evaluation order too *)
   || has "domain" || has "duplicat" || has "queue" || has "par_solve"
-  || has "utilization" || has "speedup"
+  || has "utilization" || has "speedup" || has "steal" || has "claim"
+  || has "prune"
 
 let rel_drift ~from ~to_ =
   if from = to_ then 0.0
@@ -273,6 +278,49 @@ let compare_spans cfg base cur =
   in
   (!compared, findings)
 
+(* The --min-speedup gate judges only the CURRENT document: parallel wall
+   time is machine-bound so baselines have nothing to add, and the check
+   must fail loudly (not soften to a Warn) when the PAR section or its
+   timing metrics are missing — a gated CI leg that silently skipped
+   would defeat its purpose. *)
+let speedup_findings cfg csec =
+  match cfg.min_speedup with
+  | None -> []
+  | Some floor ->
+      let fail detail =
+        [ { severity = Fail; section = Some "PAR"; subject = "solve_speedup"; detail } ]
+      in
+      (match List.assoc_opt "PAR" csec with
+      | None -> fail "min-speedup check requested but current run has no PAR section"
+      | Some s -> (
+          let metrics = metrics_of s in
+          match
+            ( List.assoc_opt "solve_seq_seconds" metrics,
+              List.assoc_opt "solve_par_seconds" metrics )
+          with
+          | Some seq, Some par when Float.is_finite seq && Float.is_finite par && par > 0.0 ->
+              let speedup = seq /. par in
+              if speedup < floor then
+                fail
+                  (Fmt.str
+                     "parallel solve %.3fs vs sequential %.3fs: %.2fx < required %.2fx"
+                     par seq speedup floor)
+              else
+                [
+                  {
+                    severity = Info;
+                    section = Some "PAR";
+                    subject = "solve_speedup";
+                    detail =
+                      Fmt.str "%.2fx (seq %.3fs / par %.3fs) >= required %.2fx"
+                        speedup seq par floor;
+                  };
+                ]
+          | _ ->
+              fail
+                "min-speedup check requested but PAR metrics lack \
+                 solve_seq_seconds/solve_par_seconds"))
+
 let schema_note baseline current =
   let version doc =
     Option.bind (Json.member "schema_version" doc) Json.to_int_opt
@@ -304,6 +352,7 @@ let diff ?(config = default_config) ~baseline ~current () =
   List.iter
     (fun (id, s) -> add (paper_findings config ~section_id:id (rows_of s)))
     csec;
+  add (speedup_findings config csec);
   List.iter
     (fun (id, bs) ->
       match List.assoc_opt id csec with

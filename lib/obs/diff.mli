@@ -35,6 +35,14 @@ type config = {
   value_rtol : float;  (** relative, deterministic values (default 1e-9) *)
   time_rtol : float;  (** relative, timing/resource values (default 0.5) *)
   compare_spans : bool;  (** compare per-name span-duration totals *)
+  min_speedup : float option;
+      (** when set, the {e current} document's PAR section must show
+          [solve_seq_seconds / solve_par_seconds >= f] — a hard [Fail]
+          below the floor, and a hard [Fail] if the PAR section or either
+          timing metric is missing (a speedup gate that silently skipped
+          would defeat its purpose). Default [None] (no check): parallel
+          wall time is machine-bound, so the gate is opt-in for CI legs
+          that know their runner's core count. *)
 }
 
 val default_config : config

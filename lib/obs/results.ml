@@ -1,10 +1,11 @@
-let schema_version = 3
+let schema_version = 4
 
-(* v1 documents (no per-span "gc", no histogram percentiles) and v2
-   documents (no PAR per-domain telemetry) remain valid: older
-   BENCH_*.json baselines must stay loadable by the differ. v3 only adds
-   optional section-metric fields, so the validator body is shared. *)
-let accepted_versions = [ 1; 2; 3 ]
+(* v1 documents (no per-span "gc", no histogram percentiles), v2
+   documents (no PAR per-domain telemetry) and v3 documents (no
+   work-stealing counters) remain valid: older BENCH_*.json baselines
+   must stay loadable by the differ. v3 and v4 only add optional
+   section-metric fields, so the validator body is shared. *)
+let accepted_versions = [ 1; 2; 3; 4 ]
 
 type row = {
   quantity : string;

@@ -11,7 +11,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "generated_by": "<tool>",
       "generated_at_unix": <float>,
       "experiments": [
@@ -32,12 +32,14 @@
     list) and a ["par_solve"] object — per-domain
     [{"domain", "states", "memo_hits", "memo_misses", "hit_rate"}]
     entries plus cross-domain ["distinct_keys"], ["duplicated_keys"] and
-    ["duplicated_work_pct"]. All v3 additions live inside the free-form
-    section metrics, so every v3 document is structurally valid v2.
-    [validate] accepts v1–v3 documents — saved baselines must stay
-    loadable — and is shared by the smoke schema checker, the differ and
-    the test suite, so the schema cannot silently drift from its
-    validator. *)
+    ["duplicated_work_pct"]. v4 added the shared-memo work-stealing
+    counters to the ["par_solve"] object: ["steals"], ["claim_hits"],
+    ["claim_misses"] and ["pruned_subtrees"] (ints). All v3/v4 additions
+    live inside the free-form section metrics, so every v4 document is
+    structurally valid v2. [validate] accepts v1–v4 documents — saved
+    baselines must stay loadable — and is shared by the smoke schema
+    checker, the differ and the test suite, so the schema cannot
+    silently drift from its validator. *)
 
 (** The version written by [to_json]; [validate] also accepts earlier
     versions (currently 1 and 2). *)

@@ -16,6 +16,9 @@ type tag =
   | Gc_major
   | Domain_spawn
   | Domain_stop
+  | Steal
+  | Claim_hit
+  | Claim_miss
 
 (* Wire codes are part of the dump format: append only, never renumber. *)
 let tag_code = function
@@ -36,13 +39,16 @@ let tag_code = function
   | Gc_major -> 14
   | Domain_spawn -> 15
   | Domain_stop -> 16
+  | Steal -> 17
+  | Claim_hit -> 18
+  | Claim_miss -> 19
 
 let all_tags =
   [
     Solver_expand; Solver_hit; Solver_terminal; Solver_prune; Pool_task_start;
     Pool_task_stop; Pool_idle_start; Pool_idle_stop; Pool_queue_depth;
     Sim_step; Sim_deliver; Sim_crash; Adv_decision; Gc_minor; Gc_major;
-    Domain_spawn; Domain_stop;
+    Domain_spawn; Domain_stop; Steal; Claim_hit; Claim_miss;
   ]
 
 let tag_of_code c = List.find_opt (fun t -> tag_code t = c) all_tags
@@ -65,6 +71,9 @@ let tag_name = function
   | Gc_major -> "gc_major"
   | Domain_spawn -> "domain_spawn"
   | Domain_stop -> "domain_stop"
+  | Steal -> "steal"
+  | Claim_hit -> "claim_hit"
+  | Claim_miss -> "claim_miss"
 
 (* ---- per-domain rings ------------------------------------------------ *)
 
@@ -144,7 +153,7 @@ let record tag a b =
     let i = r.next land r.mask in
     let ts =
       match tag with
-      | (Solver_expand | Solver_hit | Solver_terminal)
+      | (Solver_expand | Solver_hit | Solver_terminal | Claim_hit | Claim_miss)
         when r.next land ts_stride_mask <> 0 ->
           r.last_ts
       | _ ->
@@ -480,6 +489,13 @@ let chrome_domain_events ~pid d =
       | Solver_expand | Solver_hit | Solver_terminal | Solver_prune ->
           instant (tag_name e.tag)
             [ ("key", Json.Int e.a); ("depth", Json.Int e.b) ]
+      | Claim_hit ->
+          instant "claim_hit" [ ("key", Json.Int e.a); ("depth", Json.Int e.b) ]
+      | Claim_miss ->
+          instant "claim_miss"
+            [ ("owner", Json.Int e.a); ("depth", Json.Int e.b) ]
+      | Steal ->
+          instant "steal" [ ("victim", Json.Int e.a); ("item", Json.Int e.b) ]
       | Sim_step | Sim_deliver | Sim_crash ->
           instant (tag_name e.tag) [ ("id", Json.Int e.a) ]
       | Domain_spawn | Domain_stop ->

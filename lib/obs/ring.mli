@@ -44,7 +44,13 @@
       ([a] = enabled-set size, [b] = index of the chosen event);
     - runtime events: [Gc_minor]/[Gc_major] with [a] = 0 (begin) or 1
       (end); [Domain_spawn]/[Domain_stop] from the runtime's lifecycle
-      stream. *)
+      stream;
+    - work-stealing solver events: [Steal] is a successful deque steal
+      ([a] = victim worker id, [b] = stolen frontier-leaf index);
+      [Claim_hit] is a shared-memo probe that found a resolved value
+      ([a] = state-key hash, [b] = depth); [Claim_miss] is a probe that
+      found another worker's live claim and entered the helping protocol
+      ([a] = the claim's owner worker id, [b] = depth). *)
 type tag =
   | Solver_expand
   | Solver_hit
@@ -63,6 +69,9 @@ type tag =
   | Gc_major
   | Domain_spawn
   | Domain_stop
+  | Steal
+  | Claim_hit
+  | Claim_miss
 
 (** Stable wire codes for dump files: [tag_code] is injective and
     [tag_of_code (tag_code t) = Some t]. *)
@@ -88,8 +97,9 @@ val set_capacity : int -> unit
 
 (** [record tag a b] appends an event to the calling domain's ring; a
     no-op (one atomic load) when disabled. Solver memo-probe tags
-    ([Solver_expand]/[Solver_hit]/[Solver_terminal]) reuse a cached
-    timestamp refreshed at least every 64 events — they fire millions of
+    ([Solver_expand]/[Solver_hit]/[Solver_terminal]/[Claim_hit]/
+    [Claim_miss]) reuse a cached timestamp refreshed at least every 64
+    events — they fire millions of
     times per solve and the clock read dominates the record cost; all
     other tags (interval and decision events) always read the clock.
     Timestamps stay non-decreasing within a ring either way. *)

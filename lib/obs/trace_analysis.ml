@@ -4,6 +4,10 @@ type domain_report = {
   dropped : int;
   solver_hits : int;
   solver_misses : int;
+  claim_hits : int;
+  claim_misses : int;
+  steals : int;
+  pruned : int;
   hit_rate : float;
   busy_us : float;
   idle_us : float;
@@ -120,6 +124,8 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
     List.map
       (fun (dd : Ring.domain_dump) ->
         let hits = ref 0 and misses = ref 0 in
+        let c_hits = ref 0 and c_misses = ref 0 in
+        let steals = ref 0 and pruned = ref 0 in
         let pending_decision = ref false in
         List.iter
           (fun (e : Ring.event) ->
@@ -129,6 +135,19 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
                 let a = key e.a in
                 a.hits <- a.hits + 1;
                 a.touch_domains <- add_domain dd.domain a.touch_domains
+            | Ring.Claim_hit ->
+                (* a shared-memo probe answered by a resolved value — a hit
+                   for hit-rate purposes, kept separate in the report *)
+                incr c_hits;
+                let a = key e.a in
+                a.hits <- a.hits + 1;
+                a.touch_domains <- add_domain dd.domain a.touch_domains
+            | Ring.Claim_miss ->
+                (* payload is the claim's owner id, not a key hash — counted
+                   but never fed to the key accumulator *)
+                incr c_misses
+            | Ring.Steal -> incr steals
+            | Ring.Solver_prune -> incr pruned
             | Ring.Solver_expand ->
                 incr misses;
                 let a = key e.a in
@@ -167,16 +186,21 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
             dd.events
         in
         if busy_us > 0.0 then timeline := (dd.domain, bucket_acc) :: !timeline;
-        let total = !hits + !misses in
+        let all_hits = !hits + !c_hits in
+        let total = all_hits + !misses in
         {
           domain = dd.domain;
           events = List.length dd.events;
           dropped = dd.dropped;
           solver_hits = !hits;
           solver_misses = !misses;
+          claim_hits = !c_hits;
+          claim_misses = !c_misses;
+          steals = !steals;
+          pruned = !pruned;
           hit_rate =
             (if total = 0 then 0.0
-             else float_of_int !hits /. float_of_int total);
+             else float_of_int all_hits /. float_of_int total);
           busy_us;
           idle_us;
           utilization =
@@ -272,10 +296,29 @@ let pp ppf t =
     List.iter
       (fun (d : domain_report) ->
         Fmt.pf ppf "%-8d %9d %9d %9d %8.1f%% %8.3f %6.1f%%@," d.domain d.events
-          d.solver_misses d.solver_hits (100.0 *. d.hit_rate)
+          d.solver_misses
+          (d.solver_hits + d.claim_hits)
+          (100.0 *. d.hit_rate)
           (d.busy_us /. 1e6)
           (100.0 *. d.utilization))
-      t.domains
+      t.domains;
+    let sum f = List.fold_left (fun a d -> a + f d) 0 t.domains in
+    let steals = sum (fun d -> d.steals)
+    and c_hits = sum (fun (d : domain_report) -> d.claim_hits)
+    and c_misses = sum (fun (d : domain_report) -> d.claim_misses)
+    and pruned = sum (fun (d : domain_report) -> d.pruned) in
+    if steals + c_hits + c_misses + pruned > 0 then
+      Fmt.pf ppf
+        "@,work stealing: %d steal%s, %d claim hit%s, %d claim miss%s \
+         (helping), %d pruned subtree%s@,"
+        steals
+        (if steals = 1 then "" else "s")
+        c_hits
+        (if c_hits = 1 then "" else "s")
+        c_misses
+        (if c_misses = 1 then "" else "es")
+        pruned
+        (if pruned = 1 then "" else "s")
   end;
   if t.total_expansions > 0 then begin
     Fmt.pf ppf
@@ -329,6 +372,10 @@ let to_json t =
         ("dropped", Json.Int d.dropped);
         ("solver_expansions", Json.Int d.solver_misses);
         ("solver_hits", Json.Int d.solver_hits);
+        ("claim_hits", Json.Int d.claim_hits);
+        ("claim_misses", Json.Int d.claim_misses);
+        ("steals", Json.Int d.steals);
+        ("pruned", Json.Int d.pruned);
         ("hit_rate", Json.Float d.hit_rate);
         ("busy_us", Json.Float d.busy_us);
         ("idle_us", Json.Float d.idle_us);

@@ -2,9 +2,10 @@
 
     Consumes a {!Ring.dump} (from [--trace-out] / [Ring.dump]) and
     computes the questions the parallel-engine work needs answered: where
-    does [value_par] lose against the sequential solve (duplicated memo
-    work across per-domain tables, idle domains), which states are hot,
-    and what the adversary's schedule actually did. Rendered either as a
+    does [value_par] lose against the sequential solve (duplicated
+    expansions — near zero under the shared-memo work-stealing solver —
+    idle domains, helping/steal traffic), which states are hot, and what
+    the adversary's schedule actually did. Rendered either as a
     human report ({!pp}) or machine JSON ({!to_json}) — the payloads of
     [blunting trace analyze] and [bench/analyze.exe].
 
@@ -18,9 +19,14 @@ type domain_report = {
   domain : int;
   events : int;  (** retained events *)
   dropped : int;
-  solver_hits : int;
+  solver_hits : int;  (** private-memo hits ([Solver_hit]) *)
   solver_misses : int;  (** [Solver_expand] events *)
-  hit_rate : float;  (** hits / (hits + misses), 0 when idle *)
+  claim_hits : int;  (** shared-memo hits ([Claim_hit]) *)
+  claim_misses : int;  (** probes of a live claim ([Claim_miss], helping) *)
+  steals : int;  (** successful deque steals ([Steal]) *)
+  pruned : int;  (** interval cuts ([Solver_prune]) *)
+  hit_rate : float;
+      (** (solver + claim hits) / (all hits + misses), 0 when idle *)
   busy_us : float;  (** total time inside pool task slices *)
   idle_us : float;  (** total time inside pool idle slices *)
   utilization : float;  (** busy / trace duration, 0 without tasks *)

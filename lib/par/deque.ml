@@ -1,0 +1,97 @@
+(* A Chase–Lev work-stealing deque over int items (the solver stores
+   frontier-leaf indices, so a monomorphic int deque avoids boxing on the
+   hot path). The owner pushes and pops at the bottom; thieves steal from
+   the top with a CAS. OCaml 5 atomics are sequentially consistent, which
+   is stronger than the C11 orderings the published algorithm needs, so
+   the classic structure carries over without fences.
+
+   The buffer lives behind an [Atomic.t] so a thief that races an
+   owner-side grow still reads a coherent array: grow copies the live
+   range [top, bottom) into a fresh array and publishes it with a single
+   atomic store — the old array is never mutated again, and the values a
+   stale thief reads out of it at indices in [top, bottom) are exactly the
+   values the copy preserved. A slot is only reused for a new item after
+   [top] has advanced past it, at which point the thief's CAS on [top]
+   fails and the stale read is discarded. *)
+
+type t = {
+  top : int Atomic.t;  (* next index to steal *)
+  bottom : int Atomic.t;  (* next index to push *)
+  buf : int array Atomic.t;  (* circular; length is a power of two *)
+}
+
+type steal = Empty | Contended | Stolen of int
+
+let min_capacity = 16
+
+let rec round_pow2 c n = if c >= n then c else round_pow2 (c * 2) n
+
+let create ?(capacity = min_capacity) () =
+  let cap = round_pow2 min_capacity (max capacity min_capacity) in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.make cap 0);
+  }
+
+let capacity q = Array.length (Atomic.get q.buf)
+
+(* Owner-only. Grows by doubling; the live range keeps its logical
+   indices, so [top]/[bottom] never change during a grow. *)
+let grow q t b =
+  let old = Atomic.get q.buf in
+  let olen = Array.length old in
+  let nu = Array.make (2 * olen) 0 in
+  for i = t to b - 1 do
+    nu.(i land ((2 * olen) - 1)) <- old.(i land (olen - 1))
+  done;
+  Atomic.set q.buf nu
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let a = Atomic.get q.buf in
+  let a =
+    if b - t >= Array.length a then begin
+      grow q t b;
+      Atomic.get q.buf
+    end
+    else a
+  in
+  a.(b land (Array.length a - 1)) <- x;
+  (* the seq-cst store publishes the slot write to thieves *)
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* already empty: restore the canonical empty shape *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let a = Atomic.get q.buf in
+    let x = a.(b land (Array.length a - 1)) in
+    if b > t then Some x
+    else begin
+      (* last item: race the thieves for it via [top] *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then Some x else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then Empty
+  else begin
+    let a = Atomic.get q.buf in
+    let x = a.(t land (Array.length a - 1)) in
+    if Atomic.compare_and_set q.top t (t + 1) then Stolen x else Contended
+  end
+
+let length q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+let is_empty q = length q = 0

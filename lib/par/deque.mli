@@ -1,0 +1,46 @@
+(** A Chase–Lev work-stealing deque of [int] items.
+
+    One domain owns each deque and is the only one allowed to {!push} and
+    {!pop} (LIFO, at the bottom); any other domain may {!steal} (FIFO,
+    from the top, one CAS per attempt). The solver's work-stealing
+    parallel solve gives every worker its own deque of frontier-leaf
+    indices: owners drain locally in LIFO order for cache locality, idle
+    workers steal the oldest — typically largest — subtree from a victim.
+
+    Every pushed item is returned by exactly one [pop] or [steal]; the
+    implementation never drops or duplicates work. All three operations
+    are lock-free ([push] may allocate to grow the buffer; the owner's
+    operations never spin). *)
+
+type t
+
+(** [Steal] outcomes: [Empty] means the deque held no items at the time
+    of the attempt; [Contended] means another thief (or the owner taking
+    the last item) won the CAS — the deque may still be non-empty, so
+    callers sweeping for work should retry a [Contended] victim before
+    concluding the system is drained. *)
+type steal = Empty | Contended | Stolen of int
+
+(** [create ?capacity ()] makes an empty deque. [capacity] (default 16,
+    rounded up to a power of two) only sizes the initial buffer; pushes
+    beyond it grow the buffer by doubling. *)
+val create : ?capacity:int -> unit -> t
+
+(** Owner only. Adds [x] at the bottom. *)
+val push : t -> int -> unit
+
+(** Owner only. Removes the most recently pushed item, [None] when
+    empty. *)
+val pop : t -> int option
+
+(** Any domain. Attempts to remove the oldest item. *)
+val steal : t -> steal
+
+(** A snapshot of the item count; racy under concurrency, exact when
+    quiescent. *)
+val length : t -> int
+
+val is_empty : t -> bool
+
+(** Current buffer capacity (for tests of the growth invariant). *)
+val capacity : t -> int

@@ -168,6 +168,53 @@ let map t ~n f =
 
 let iter t ~n f = ignore (map t ~n (fun i : unit -> f i))
 
+(* Unlike [map], no index is evaluated inline before the region opens:
+   [map] computes [f 0] on the caller to seed the result array, which is
+   harmless for small per-index tasks but serializes a region of [n]
+   long-running cooperative loops (the first loop would run to completion
+   before any worker started). [scatter] enqueues first, then joins the
+   region, so all [min jobs n] participants run concurrently from the
+   start. Chunk size is pinned to 1: each index is one long-lived task. *)
+let scatter t ~n (f : int -> unit) =
+  if n < 0 then invalid_arg "Par.Pool.scatter: negative size";
+  if t.stopping then invalid_arg "Par.Pool.scatter: pool is shut down";
+  if n = 0 then ()
+  else if t.jobs = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let participants = min t.jobs n in
+    let r =
+      {
+        n;
+        chunk = 1;
+        next = Atomic.make 0;
+        results = Array.make n ();
+        f;
+        done_mutex = Mutex.create ();
+        done_cond = Condition.create ();
+        active = participants;
+        error = None;
+      }
+    in
+    Mutex.lock t.mutex;
+    for _ = 2 to participants do
+      Queue.add (fun () -> chunk_loop r) t.queue
+    done;
+    Obs.Ring.record Obs.Ring.Pool_queue_depth (Queue.length t.queue) participants;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    chunk_loop r;
+    Mutex.lock r.done_mutex;
+    while r.active > 0 do
+      Condition.wait r.done_cond r.done_mutex
+    done;
+    let error = r.error in
+    Mutex.unlock r.done_mutex;
+    match error with Some e -> raise e | None -> ()
+  end
+
 let env_jobs () =
   match Sys.getenv_opt "BLUNTING_JOBS" with
   | None -> None

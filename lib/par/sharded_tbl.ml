@@ -1,0 +1,103 @@
+(* A sharded concurrent hash table with a claim protocol: the bucket-
+   ownership idiom (each key hashes to exactly one shard, each shard is
+   protected by its own mutex) keeps critical sections a few instructions
+   long and spreads contention across [shard_count] locks, while the
+   [Claimed]/[Done] slot states make "exactly one caller computes each
+   key" a table-level guarantee rather than a caller convention. *)
+
+type 'a slot = Claimed of int | Done of 'a
+
+type 'a shard = {
+  lock : Mutex.t;
+  tbl : (string, 'a slot) Hashtbl.t;
+  mutable resolved : int;  (* [Done] bindings in this shard *)
+}
+
+type 'a t = { shards : 'a shard array; mask : int }
+
+let default_shards = 128
+
+let rec round_pow2 c n = if c >= n then c else round_pow2 (c * 2) n
+
+let create ?(shards = default_shards) () =
+  let n = round_pow2 1 (max 1 shards) in
+  {
+    shards =
+      Array.init n (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 512; resolved = 0 });
+    mask = n - 1;
+  }
+
+let shard_count t = Array.length t.shards
+let shard_of t key = t.shards.(Hashtbl.hash key land t.mask)
+
+type 'a claim = [ `Value of 'a | `Busy of int | `Claimed ]
+
+let find_or_claim t key ~owner : 'a claim =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let r =
+    match Hashtbl.find_opt s.tbl key with
+    | Some (Done v) -> `Value v
+    | Some (Claimed o) -> `Busy o
+    | None ->
+        Hashtbl.add s.tbl key (Claimed owner);
+        `Claimed
+  in
+  Mutex.unlock s.lock;
+  r
+
+let resolve t key v =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  (match Hashtbl.find_opt s.tbl key with
+  | Some (Done _) ->
+      Mutex.unlock s.lock;
+      invalid_arg "Par.Sharded_tbl.resolve: key already resolved"
+  | Some (Claimed _) | None ->
+      Hashtbl.replace s.tbl key (Done v);
+      s.resolved <- s.resolved + 1);
+  Mutex.unlock s.lock
+
+let get t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let r =
+    match Hashtbl.find_opt s.tbl key with
+    | Some (Done v) -> Some v
+    | Some (Claimed _) | None -> None
+  in
+  Mutex.unlock s.lock;
+  r
+
+let length t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = Hashtbl.length s.tbl in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards
+
+let resolved t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = s.resolved in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards
+
+let iter_resolved t f =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      let pairs =
+        Hashtbl.fold
+          (fun k slot acc ->
+            match slot with Done v -> (k, v) :: acc | Claimed _ -> acc)
+          s.tbl []
+      in
+      Mutex.unlock s.lock;
+      List.iter (fun (k, v) -> f k v) pairs)
+    t.shards

@@ -1,0 +1,56 @@
+(** A sharded concurrent hash table with a find-or-claim protocol.
+
+    Keys hash to one of [shard_count] independent shards, each a plain
+    [Hashtbl] behind its own mutex — the bucket-ownership idiom: because
+    a key belongs to exactly one shard, per-key operations never take
+    more than one lock, critical sections are a few instructions, and
+    [n] domains contend only when their keys collide on a shard.
+
+    The claim protocol turns the table into a computation cache with an
+    exactly-once guarantee. A slot is either [Claimed owner] (some caller
+    is computing the value) or [Done v]. {!find_or_claim} atomically
+    returns the finished value, reports the claim's owner, or installs a
+    claim for the caller — so across any number of domains, exactly one
+    caller is told [`Claimed] per key and computes it; everyone else
+    either reads the value or knows who to wait for. The work-stealing
+    solver keys this table by canonical game-state encodings: one domain
+    evaluates each state, the rest share the result. *)
+
+type 'a t
+
+(** [create ?shards ()] makes an empty table with [shards] (default 128,
+    rounded up to a power of two) independent shards. *)
+val create : ?shards:int -> unit -> 'a t
+
+val shard_count : 'a t -> int
+
+type 'a claim = [ `Value of 'a | `Busy of int | `Claimed ]
+
+(** [find_or_claim t key ~owner] atomically probes [key]:
+    - [`Value v] — the key is resolved; [v] is shared.
+    - [`Busy o] — claimed by owner-id [o] and not yet resolved. [o] is
+      whatever id the claimant passed; callers use it to detect
+      self-re-entry (a cycle) vs. another domain to help or wait for.
+    - [`Claimed] — the claim was installed for this caller, which must
+      eventually {!resolve} the key. *)
+val find_or_claim : 'a t -> string -> owner:int -> 'a claim
+
+(** [resolve t key v] publishes the value for a claimed (or absent) key.
+    Raises [Invalid_argument] if the key is already resolved — a second
+    resolution would mean two domains computed the same key, the bug the
+    claim protocol exists to rule out. *)
+val resolve : 'a t -> string -> 'a -> unit
+
+(** [get t key] is the resolved value, [None] while absent or claimed. *)
+val get : 'a t -> string -> 'a option
+
+(** [length t] counts all bindings (claimed and resolved); exact when
+    quiescent, a racy snapshot under concurrency. *)
+val length : 'a t -> int
+
+(** [resolved t] counts resolved bindings only. *)
+val resolved : 'a t -> int
+
+(** [iter_resolved t f] applies [f] to every resolved binding. Each shard
+    is snapshotted under its lock, then [f] runs outside it. *)
+val iter_resolved : 'a t -> (string -> 'a -> unit) -> unit
