@@ -6,23 +6,134 @@
      dune exec bench/analyze.exe -- --json report.json trace.json
      dune exec bench/analyze.exe -- --chrome trace_chrome.json trace.json
      dune exec bench/analyze.exe -- --top 20 --buckets 40 trace.json
+     dune exec bench/analyze.exe -- --alloc profile.json
+     dune exec bench/analyze.exe -- --alloc trace.json
 
    The human report always goes to stdout; --json additionally writes the
    machine-readable report document and --chrome the Chrome/Perfetto
    trace-event export (per-domain lanes). `blunting trace analyze` is the
    same analysis behind the installed CLI; this executable keeps it
-   runnable from a bare bench checkout. *)
+   runnable from a bare bench checkout.
+
+   --alloc switches to the allocation-site view and accepts either input
+   kind: a results document (schema v5; the allocation_profile block is
+   printed with named sites) or a ring trace dump (the Alloc_sample
+   events are aggregated into a hash-keyed site table — the hashes join
+   against the site_hash column of a results profile). Sites holding more
+   than 10% of sampled words are flagged either way. *)
+
+let hot_share_pct = 10.0
+
+(* The trace-dump side of --alloc: Alloc_sample events carry (site hash,
+   sampled words); group them per hash across every domain lane. *)
+let alloc_from_dump ~top (dump : Obs.Ring.dump) =
+  let tbl : (int, (int * int * int list) ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (dd : Obs.Ring.domain_dump) ->
+      List.iter
+        (fun (e : Obs.Ring.event) ->
+          match e.Obs.Ring.tag with
+          | Obs.Ring.Alloc_sample ->
+              let r =
+                match Hashtbl.find_opt tbl e.a with
+                | Some r -> r
+                | None ->
+                    let r = ref (0, 0, []) in
+                    Hashtbl.add tbl e.a r;
+                    r
+              in
+              let samples, words, doms = !r in
+              let doms =
+                if List.mem dd.domain doms then doms else dd.domain :: doms
+              in
+              r := (samples + 1, words + e.b, doms)
+          | _ -> ())
+        dd.events)
+    (dump.domains @ dump.runtime);
+  let sites =
+    Hashtbl.fold (fun h r acc -> (h, !r) :: acc) tbl []
+    |> List.sort (fun (h1, (_, w1, _)) (h2, (_, w2, _)) ->
+           match compare w2 w1 with 0 -> compare h1 h2 | c -> c)
+  in
+  let total_words =
+    List.fold_left (fun acc (_, (_, w, _)) -> acc + w) 0 sites
+  in
+  if sites = [] then
+    Fmt.pr
+      "no alloc_sample events in this dump (profile with --memprof on \
+       OCaml >= 5.3)@."
+  else begin
+    Fmt.pr "allocation samples by site hash (%d site(s), %d sampled words):@."
+      (List.length sites) total_words;
+    Fmt.pr "  %-10s  %10s  %8s  %7s  %7s@." "site" "words" "samples" "share"
+      "domains";
+    let shown = List.filteri (fun i _ -> i < top) sites in
+    List.iter
+      (fun (h, (samples, words, doms)) ->
+        let share =
+          if total_words > 0 then
+            100.0 *. float_of_int words /. float_of_int total_words
+          else 0.0
+        in
+        Fmt.pr "  %08x    %10d  %8d  %6.1f%%  %7d%s@." h words samples share
+          (List.length doms)
+          (if share > hot_share_pct then "  [>10%]" else ""))
+      shown;
+    List.iter
+      (fun (h, (_, words, _)) ->
+        let share =
+          if total_words > 0 then
+            100.0 *. float_of_int words /. float_of_int total_words
+          else 0.0
+        in
+        if share > hot_share_pct then
+          Fmt.pr "WARN: site %08x holds %.1f%% of sampled words (> %.0f%%)@." h
+            share hot_share_pct)
+      sites;
+    Fmt.pr
+      "(hashes join the site_hash column of a results-document profile; \
+       run --alloc on the --json output for named sites)@."
+  end
+
+(* --alloc dispatch: sniff the document kind, then render. *)
+let alloc_report ~top path =
+  match Obs.Diff.load_file path with
+  | Error e ->
+      Fmt.epr "%s@." e;
+      exit 1
+  | Ok doc ->
+      if Obs.Json.member "schema_version" doc <> None then
+        match Obs.Json.member "allocation_profile" doc with
+        | None ->
+            Fmt.epr
+              "%s: no allocation_profile block — produce one with \
+               main.exe --memprof --json or blunting profile --json@."
+              path;
+            exit 1
+        | Some j -> (
+            match Obs.Memprof.of_json j with
+            | Error e ->
+                Fmt.epr "%s: %s@." path e;
+                exit 1
+            | Ok p -> Fmt.pr "%a@." (Obs.Memprof.pp ~top) p)
+      else
+        match Obs.Ring.load_file path with
+        | Error e ->
+            Fmt.epr "%s: %s@." path e;
+            exit 1
+        | Ok dump -> alloc_from_dump ~top dump
 
 let () =
   let json_out = ref None
   and chrome_out = ref None
   and top = ref 10
   and buckets = ref 20
+  and alloc = ref false
   and path = ref None in
   let usage () =
     Fmt.epr
       "usage: analyze.exe [--json PATH] [--chrome PATH] [--top N] [--buckets \
-       N] TRACE.json@.";
+       N] [--alloc] TRACE.json@.";
     exit 2
   in
   let pos_int flag s =
@@ -46,6 +157,9 @@ let () =
     | "--buckets" :: n :: rest ->
         buckets := pos_int "--buckets" n;
         parse rest
+    | "--alloc" :: rest ->
+        alloc := true;
+        parse rest
     | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-'
       ->
         path := Some arg;
@@ -56,6 +170,8 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let path = match !path with Some p -> p | None -> usage () in
+  if !alloc then alloc_report ~top:!top path
+  else
   match Obs.Ring.load_file path with
   | Error e ->
       Fmt.epr "%s: %s@." path e;

@@ -35,6 +35,9 @@ type options = {
   only : string list option;  (* uppercased section ids *)
   progress : bool;
   jobs : int;
+  memprof : bool;
+  memprof_rate : float;
+  memprof_collapsed : string option;
   mutable skip_bechamel : bool;
 }
 
@@ -43,6 +46,9 @@ let options =
   and baseline_path = ref None
   and trace_out = ref None
   and only = ref None
+  and memprof = ref false
+  and memprof_rate = ref 1e-4
+  and memprof_collapsed = ref None
   and progress = ref false
   (* default 1, not the core count: every deterministic quantity is
      bit-identical at any job count, but the per-domain solver stats land
@@ -52,7 +58,8 @@ let options =
   let usage () =
     Fmt.epr
       "usage: main.exe [--json PATH] [--baseline PATH] [--trace-out PATH] \
-       [--only E1,E2,...] [--progress] [--jobs N] [--skip-bechamel] \
+       [--only E1,E2,...] [--progress] [--jobs N] [--memprof] \
+       [--memprof-rate R] [--memprof-collapsed PATH] [--skip-bechamel] \
        [--verbosity LEVEL]@.";
     exit 2
   in
@@ -85,6 +92,19 @@ let options =
             Fmt.epr "--jobs expects a positive integer@.";
             exit 2);
         parse rest
+    | "--memprof" :: rest ->
+        memprof := true;
+        parse rest
+    | "--memprof-rate" :: rr :: rest ->
+        (match float_of_string_opt rr with
+        | Some f when f > 0.0 && f <= 1.0 -> memprof_rate := f
+        | _ ->
+            Fmt.epr "--memprof-rate expects a probability in (0, 1]@.";
+            exit 2);
+        parse rest
+    | "--memprof-collapsed" :: p :: rest ->
+        memprof_collapsed := Some p;
+        parse rest
     | "--skip-bechamel" :: rest ->
         skip_bechamel := true;
         parse rest
@@ -108,6 +128,9 @@ let options =
     only = !only;
     progress = !progress;
     jobs = !jobs;
+    memprof = !memprof;
+    memprof_rate = !memprof_rate;
+    memprof_collapsed = !memprof_collapsed;
     skip_bechamel = !skip_bechamel;
   }
 
@@ -1009,6 +1032,13 @@ let () =
       ("PAR", par_speedup);
     ]
   in
+  (* Start profiling before the shared pool exists: Gc.Memprof covers the
+     starting domain plus domains spawned after [start], so this is what
+     lets the worker domains' allocations be sampled and attributed. *)
+  (if options.memprof then
+     match Obs.Memprof.start ~sampling_rate:options.memprof_rate () with
+     | Ok () -> ()
+     | Error e -> Fmt.epr "memprof: %s (running unprofiled)@." e);
   (* All sections share one pool (installed in [pool]); with_pool joins
      its domains even if a section raises mid-run. *)
   let run_sections () =
@@ -1033,6 +1063,19 @@ let () =
       Fmt.pr "@.trace: %d events across %d domain ring(s) -> %s@." events
         (List.length d.domains) path
   | None -> ());
+  (* stop before the results document renders: Report.write_json picks up
+     the allocation_profile block from the live Memprof aggregation *)
+  (if options.memprof && Obs.Memprof.running () then begin
+     Obs.Memprof.stop ();
+     (match Obs.Memprof.profile () with
+     | Some p -> Fmt.pr "@.%a@." (Obs.Memprof.pp ~top:10) p
+     | None -> ());
+     match options.memprof_collapsed with
+     | Some path ->
+         Obs.Memprof.write_collapsed path;
+         Fmt.pr "collapsed stacks -> %s@." path
+     | None -> ()
+   end);
   (match options.json_path with
   | Some path -> Report.write_json ~path
   | None -> ());

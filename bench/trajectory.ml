@@ -3,18 +3,26 @@
      dune exec bench/trajectory.exe                    # scan ./BENCH_*.json
      dune exec bench/trajectory.exe -- --dir /root/repo --section E5
      dune exec bench/trajectory.exe -- --markdown A.json B.json
+     dune exec bench/trajectory.exe -- --gc            # GC series only
 
    One column per trajectory point (committed BENCH_*.json documents, or
    explicit FILES in the order given), one row per series: measured row
-   values, numeric section metrics, and the derived states/sec. Exits 1
-   when any point is unreadable or fails schema validation. *)
+   values, numeric section metrics, and the derived states/sec plus
+   gc.minor_words_per_step. Exits 1 when any point is unreadable or fails
+   schema validation.
+
+   --gc keeps only the GC series (row keys starting with "gc.") — the
+   zero-alloc roadmap item's view: minor/major words and the per-step
+   allocation rate across baselines, per section. Sections without GC
+   metrics are dropped from the output. *)
 
 let () =
   let dir = ref "." and section = ref None and markdown = ref false in
+  let gc_only = ref false in
   let files = ref [] in
   let usage () =
     Fmt.epr
-      "usage: trajectory.exe [--dir D] [--section ID] [--markdown] \
+      "usage: trajectory.exe [--dir D] [--section ID] [--markdown] [--gc] \
        [FILES...]@.";
     exit 2
   in
@@ -28,6 +36,9 @@ let () =
         parse rest
     | "--markdown" :: rest ->
         markdown := true;
+        parse rest
+    | "--gc" :: rest ->
+        gc_only := true;
         parse rest
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
         files := arg :: !files;
@@ -61,6 +72,19 @@ let () =
       exit 1
   | Ok points ->
       let tables = Obs.Trajectory.tables ?section:!section points in
+      let tables =
+        if not !gc_only then tables
+        else
+          List.filter_map
+            (fun (t : Obs.Trajectory.table) ->
+              let is_gc (k, _) =
+                String.length k > 3 && String.sub k 0 3 = "gc."
+              in
+              match List.filter is_gc t.rows with
+              | [] -> None
+              | rows -> Some { t with rows })
+            tables
+      in
       if tables = [] then begin
         Fmt.epr "no matching section%a@."
           (Fmt.option (fun ppf s -> Fmt.pf ppf " %s" s))

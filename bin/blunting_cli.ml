@@ -13,6 +13,8 @@
      blunting bench-diff BASELINE.json CURRENT.json
      blunting fuzz --seed 42 --budget 10000 --jobs 4
      blunting fuzz --replay test/corpus/fuzz-lin-s7-i0.json
+     blunting profile solve -k 1 --jobs 4 --collapsed solve.folded
+     blunting solve -k 1 --memprof --memprof-rate 1e-3
 
    Every subcommand accepts --verbosity LEVEL (quiet|app|error|warning|
    info|debug) to surface the structured logs of the blunting.sim,
@@ -109,7 +111,23 @@ let solve_cmd =
              task/idle slices, GC) during the solve and write the dump to \
              $(docv); analyze it with $(b,blunting trace analyze).")
   in
-  let run () k atomic servers abd_c prune progress trace_out jobs =
+  let memprof_arg =
+    Arg.(
+      value & flag
+      & info [ "memprof" ]
+          ~doc:
+            "Sample allocations during the solve with $(b,Gc.Memprof) \
+             (OCaml >= 5.3; prints a warning and solves unprofiled \
+             otherwise) and print the allocation-site summary afterwards.")
+  in
+  let memprof_rate_arg =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "memprof-rate" ] ~docv:"R"
+          ~doc:"Per-word sampling probability for $(b,--memprof).")
+  in
+  let run () k atomic servers abd_c prune progress trace_out memprof
+      memprof_rate jobs =
     if progress then
       Model.Weakener_abd.set_progress
         (Some (fun p -> Fmt.epr "  [mdp] %a@." Mdp.Solver.pp_progress p));
@@ -120,6 +138,12 @@ let solve_cmd =
         | Ok () -> ()
         | Error e -> Fmt.epr "trace: runtime events unavailable (%s)@." e)
     | None -> ());
+    (* must start before the solver's pool spawns its worker domains:
+       Gc.Memprof only covers domains created after [start] *)
+    (if memprof then
+       match Obs.Memprof.start ~sampling_rate:memprof_rate () with
+       | Ok () -> ()
+       | Error e -> Fmt.epr "memprof: %s (solving unprofiled)@." e);
     if atomic then begin
       let v = Model.Weakener_atomic.bad_probability () in
       Fmt.pr "weakener with atomic registers:@.";
@@ -145,6 +169,12 @@ let solve_cmd =
       | Some ps -> Fmt.pr "  %a@." Mdp.Solver.pp_par_stats ps
       | None -> ()
     end;
+    (if memprof && Obs.Memprof.running () then begin
+       Obs.Memprof.stop ();
+       match Obs.Memprof.profile () with
+       | Some p -> Fmt.pr "%a@." (Obs.Memprof.pp ~top:10) p
+       | None -> ()
+     end);
     match trace_out with
     | Some path ->
         Obs.Ring.set_enabled false;
@@ -156,7 +186,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const run $ verbosity_term $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg
-      $ prune_arg $ progress_arg $ trace_out_arg $ jobs_term)
+      $ prune_arg $ progress_arg $ trace_out_arg $ memprof_arg
+      $ memprof_rate_arg $ jobs_term)
 
 (* ---- figure1 -------------------------------------------------------- *)
 
@@ -667,6 +698,148 @@ let fuzz_cmd =
       const run $ verbosity_term $ seed_arg $ budget_arg $ corpus_arg
       $ replay_arg $ planted_arg $ dist_trials_arg $ jobs_term)
 
+(* ---- profile --------------------------------------------------------- *)
+
+let profile_cmd =
+  let workload_arg =
+    let w =
+      Arg.enum [ ("solve", `Solve); ("estimate", `Estimate); ("fuzz", `Fuzz) ]
+    in
+    Arg.(
+      required
+      & pos 0 (some w) None
+      & info [] ~docv:"solve|estimate|fuzz"
+          ~doc:
+            "Workload to run under the profiler: the exact ABD$(b,^k) solve, \
+             a Monte-Carlo estimate, or a fuzzing session.")
+  in
+  let k_arg =
+    Arg.(value & opt int 1 & info [ "k" ] ~doc:"Preamble iterations for the solve workload." ~docv:"K")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Per-word sampling probability (default 1e-4).")
+  in
+  let stacks_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "stacks" ] ~docv:"N"
+          ~doc:"Backtrace frames captured per sample (default 32).")
+  in
+  let trials_arg =
+    Arg.(value & opt int 2000 & info [ "trials" ] ~doc:"Trials for the estimate workload.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 500 & info [ "budget" ] ~doc:"Iterations for the fuzz workload.")
+  in
+  let top_arg =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Allocation sites to list (default 20).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write a results document (schema v5, with the \
+             $(b,allocation_profile) block) to $(docv).")
+  in
+  let collapsed_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "collapsed" ] ~docv:"PATH"
+          ~doc:
+            "Write collapsed stacks to $(docv) for flamegraph.pl or \
+             speedscope.")
+  in
+  let run () workload k rate stacks trials budget top json collapsed jobs =
+    (* the profiler must be live before the pool spawns worker domains:
+       Gc.Memprof covers the starting domain plus domains created after
+       [start], so this ordering is what makes per-domain attribution
+       cover the whole solve *)
+    (match Obs.Memprof.start ~sampling_rate:rate ~callstack_size:stacks () with
+    | Ok () -> ()
+    | Error e ->
+        Fmt.epr "blunting profile: %s@." e;
+        exit 3);
+    let label, detail =
+      match workload with
+      | `Solve ->
+          let v, secs =
+            Obs.Span.time
+              (Fmt.str "profile.solve k=%d" k)
+              (fun () -> Model.Weakener_abd.bad_probability ~k ~jobs ())
+          in
+          ("solve", Fmt.str "Prob[bad] = %.6f (%.2fs)" v secs)
+      | `Estimate ->
+          let r, secs =
+            Obs.Span.time
+              (Fmt.str "profile.estimate trials=%d" trials)
+              (fun () ->
+                Adversary.Monte_carlo.estimate ~jobs ~trials ~seed:42
+                  ~scheduler:Adversary.Schedulers.uniform
+                  ~bad:Programs.Weakener.bad Programs.Weakener.abd_config)
+          in
+          ("estimate", Fmt.str "bad = %a (%.2fs)" Adversary.Monte_carlo.pp r secs)
+      | `Fuzz -> (
+          match Fuzz.Engine.parse_budget (string_of_int budget) with
+          | Error e ->
+              Fmt.epr "%s@." e;
+              exit 2
+          | Ok b ->
+              let summary, secs =
+                Obs.Span.time
+                  (Fmt.str "profile.fuzz budget=%d" budget)
+                  (fun () ->
+                    Fuzz.Engine.run ~jobs ~planted:false ~dist_trials:100
+                      ~seed:42 ~budget:b ())
+              in
+              let failed = Fuzz.Engine.has_failures summary in
+              ( "fuzz",
+                Fmt.str "%s (%.2fs)"
+                  (if failed then "failures found" else "no failures")
+                  secs ))
+    in
+    Obs.Memprof.stop ();
+    match Obs.Memprof.profile () with
+    | None ->
+        Fmt.epr "blunting profile: no profile collected@.";
+        exit 1
+    | Some p ->
+        Fmt.pr "profiled workload %s: %s@.@." label detail;
+        Fmt.pr "%a@." (Obs.Memprof.pp ~top) p;
+        (match collapsed with
+        | Some path ->
+            Obs.Memprof.write_collapsed path;
+            Fmt.pr "collapsed stacks -> %s (feed to flamegraph.pl or speedscope)@." path
+        | None -> ());
+        (match json with
+        | Some path ->
+            let doc = Obs.Results.create ~generated_by:"blunting profile" () in
+            let sec =
+              Obs.Results.section doc ~id:"PROFILE"
+                ~title:"Allocation profiling workload"
+            in
+            Obs.Results.row sec ~quantity:("workload " ^ label) ~paper:"n/a"
+              ~measured:detail ();
+            Obs.Results.write doc ~path;
+            Fmt.pr "results document (schema v5) -> %s@." path
+        | None -> ())
+  in
+  let doc =
+    "Run a workload under the $(b,Gc.Memprof) allocation-site profiler and \
+     report where the sampled words were allocated — per site, per bench \
+     section, per solver phase and per domain. Needs OCaml >= 5.3; exits 3 \
+     with an explanation on earlier compilers."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ verbosity_term $ workload_arg $ k_arg $ rate_arg $ stacks_arg
+      $ trials_arg $ budget_arg $ top_arg $ json_arg $ collapsed_arg $ jobs_term)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -689,4 +862,5 @@ let () =
             metrics_cmd;
             bench_diff_cmd;
             fuzz_cmd;
+            profile_cmd;
           ]))

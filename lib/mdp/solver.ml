@@ -350,7 +350,12 @@ module Make (G : GAME) = struct
     start_solve i;
     let before = stats_of i in
     let pruned_before = i.prune_cuts in
+    (* tag allocations in the solve as expansion work for Obs.Memprof;
+       the parallel workers refine the tag (steal/claim-wait) themselves *)
+    let prev_phase = Obs.Memprof.phase () in
+    Obs.Memprof.set_phase (Some Obs.Memprof.Expand);
     let finish () =
+      Obs.Memprof.set_phase prev_phase;
       publish_delta before (stats_of i);
       Obs.Metrics.add M.pruned (i.prune_cuts - pruned_before)
     in
@@ -588,6 +593,11 @@ module Make (G : GAME) = struct
      the owner's single [fold_value], or prune-cut folds could disagree
      with it. *)
   and help ~abort ~prune tbl w depth s key =
+    (* the whole helping protocol — evaluating the busy state's children
+       plus the await spin — is claim-miss overhead; tag its allocations
+       so the profiler can separate it from first-visit expansion *)
+    let prev_phase = Obs.Memprof.phase () in
+    Obs.Memprof.set_phase (Some Obs.Memprof.Claim_wait);
     (match G.moves s with
     | [] -> ()
     | ms ->
@@ -621,7 +631,9 @@ module Make (G : GAME) = struct
           else Unix.sleepf 0.0002;
           await (probes + 1)
     in
-    await 0
+    let v = await 0 in
+    Obs.Memprof.set_phase prev_phase;
+    v
 
   let merge_by_domain workers =
     let tbl : (int, stats) Hashtbl.t = Hashtbl.create 8 in
@@ -675,12 +687,14 @@ module Make (G : GAME) = struct
         let abort = Atomic.make false in
         let first_error : exn option Atomic.t = Atomic.make None in
         let eval_leaf w i =
+          Obs.Memprof.set_phase (Some Obs.Memprof.Expand);
           let s, depth = leaves.(i) in
           values.(i) <- shared_value ~abort ~prune tbl w depth s
         in
         let worker_loop wid =
           let w = workers.(wid) in
           w.w_domain <- (Domain.self () :> int);
+          Obs.Memprof.set_phase (Some Obs.Memprof.Expand);
           (* drain the local deque LIFO; when empty, sweep the other
              deques for the oldest leaf. Leaves are only pushed before
              the region starts, so a sweep seeing every deque [Empty]
@@ -692,7 +706,9 @@ module Make (G : GAME) = struct
             | Some i ->
                 eval_leaf w i;
                 drain ()
-            | None -> hunt 0 false
+            | None ->
+                Obs.Memprof.set_phase (Some Obs.Memprof.Steal);
+                hunt 0 false
           and hunt k contended =
             if Atomic.get abort then ()
             else if k >= jobs - 1 then begin

@@ -321,6 +321,46 @@ let speedup_findings cfg csec =
                 "min-speedup check requested but PAR metrics lack \
                  solve_seq_seconds/solve_par_seconds"))
 
+(* Per-row speedup surfacing, always on: every "*_speedup_timing" metric
+   in the CURRENT document's PAR section lands in the human summary —
+   Info at >= 1.0x, a soft Warn below it (a parallel row silently slower
+   than sequential, like the 0.19x ABD^2 solve the 2026-08-08-par4
+   baseline carried). Never a Fail: the hard floor stays opt-in via
+   --min-speedup above. *)
+let speedup_suffix = "_speedup_timing"
+
+let par_row_findings csec =
+  match List.assoc_opt "PAR" csec with
+  | None -> []
+  | Some s ->
+      List.filter_map
+        (fun (k, v) ->
+          let klen = String.length k and slen = String.length speedup_suffix in
+          if klen > slen && String.sub k (klen - slen) slen = speedup_suffix
+          then
+            let row = String.sub k 0 (klen - slen) in
+            if not (Float.is_finite v) then None
+            else if v < 1.0 then
+              Some
+                {
+                  severity = Warn;
+                  section = Some "PAR";
+                  subject = "speedup " ^ row;
+                  detail =
+                    Fmt.str "%.2fx — parallel %s row slower than sequential" v
+                      row;
+                }
+            else
+              Some
+                {
+                  severity = Info;
+                  section = Some "PAR";
+                  subject = "speedup " ^ row;
+                  detail = Fmt.str "%.2fx" v;
+                }
+          else None)
+        (metrics_of s)
+
 let schema_note baseline current =
   let version doc =
     Option.bind (Json.member "schema_version" doc) Json.to_int_opt
@@ -353,6 +393,7 @@ let diff ?(config = default_config) ~baseline ~current () =
     (fun (id, s) -> add (paper_findings config ~section_id:id (rows_of s)))
     csec;
   add (speedup_findings config csec);
+  add (par_row_findings csec);
   List.iter
     (fun (id, bs) ->
       match List.assoc_opt id csec with

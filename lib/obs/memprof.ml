@@ -1,0 +1,549 @@
+type phase = Expand | Claim_wait | Steal | Sim_run
+
+let phase_name = function
+  | Expand -> "expand"
+  | Claim_wait -> "claim-wait"
+  | Steal -> "steal"
+  | Sim_run -> "sim-run"
+
+let phase_code = function Expand -> 0 | Claim_wait -> 1 | Steal -> 2 | Sim_run -> 3
+let phase_of_code = function 0 -> Expand | 1 -> Claim_wait | 2 -> Steal | _ -> Sim_run
+
+(* One slot per phase plus a trailing "untagged" bucket. *)
+let n_phase_slots = 5
+let untagged_slot = 4
+
+(* Per-domain phase tag: written by the solver/sim at coarse transitions,
+   read by the sample callback (which 5.3 runs on the allocating domain).
+   A plain DLS ref — one store per transition, nothing on allocation
+   paths. *)
+let phase_key = Domain.DLS.new_key (fun () -> ref (-1))
+
+let set_phase p =
+  Domain.DLS.get phase_key := (match p with None -> -1 | Some p -> phase_code p)
+
+let current_slot () =
+  match !(Domain.DLS.get phase_key) with -1 -> untagged_slot | c -> c
+
+let phase () =
+  match !(Domain.DLS.get phase_key) with -1 -> None | c -> Some (phase_of_code c)
+
+(* ---- aggregation ----------------------------------------------------- *)
+
+let unattributed = "<unattributed>"
+
+(* Frames are formatted "<fn>@<file>:<line>"; the site of a stack is its
+   innermost frame whose file lives under lib/, so stdlib allocations are
+   charged to the library code that asked for them. *)
+let frame_file f =
+  match String.index_opt f '@' with
+  | Some i -> String.sub f (i + 1) (String.length f - i - 1)
+  | None -> f
+
+let is_lib_frame f =
+  let file = frame_file f in
+  String.length file >= 4 && String.sub file 0 4 = "lib/"
+
+type acc = {
+  mutable minor_samples : int;
+  mutable major_samples : int;
+  mutable minor_words : int;  (* sampled block sizes, words *)
+  mutable major_words : int;
+  by_section : (string, int) Hashtbl.t;  (* sampled words per section *)
+  by_phase : int array;  (* sampled words per phase slot *)
+  by_domain : (int, int) Hashtbl.t;  (* sampled words per domain id *)
+}
+
+let new_acc () =
+  {
+    minor_samples = 0;
+    major_samples = 0;
+    minor_words = 0;
+    major_words = 0;
+    by_section = Hashtbl.create 7;
+    by_phase = Array.make n_phase_slots 0;
+    by_domain = Hashtbl.create 7;
+  }
+
+type stack_entry = {
+  frames : string array;  (* innermost first *)
+  site : string;
+  site_hash : int;
+  lib_frames : string list;
+  acc : acc;
+}
+
+let mutex = Mutex.create ()
+let stacks : (string, stack_entry) Hashtbl.t = Hashtbl.create 256
+let started = ref false
+let is_running = ref false
+let rate = ref 0.0
+let depth = ref 0
+let sampled_blocks = ref 0
+
+let bump tbl key words =
+  match Hashtbl.find_opt tbl key with
+  | Some w -> Hashtbl.replace tbl key (w + words)
+  | None -> Hashtbl.add tbl key words
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let record ~frames ~minor ~n_samples ~words ~section ~phase_slot ~domain =
+  let key = String.concat ";" (Array.to_list frames) in
+  Mutex.lock mutex;
+  let e =
+    match Hashtbl.find_opt stacks key with
+    | Some e -> e
+    | None ->
+        let lib_frames =
+          take 4 (List.filter is_lib_frame (Array.to_list frames))
+        in
+        let site = match lib_frames with f :: _ -> f | [] -> unattributed in
+        let e =
+          { frames; site; site_hash = Hashtbl.hash site; lib_frames; acc = new_acc () }
+        in
+        Hashtbl.add stacks key e;
+        e
+  in
+  incr sampled_blocks;
+  let a = e.acc in
+  if minor then begin
+    a.minor_samples <- a.minor_samples + n_samples;
+    a.minor_words <- a.minor_words + words
+  end
+  else begin
+    a.major_samples <- a.major_samples + n_samples;
+    a.major_words <- a.major_words + words
+  end;
+  bump a.by_section (Option.value section ~default:"(none)") words;
+  a.by_phase.(phase_slot) <- a.by_phase.(phase_slot) + words;
+  bump a.by_domain domain words;
+  let site_hash = e.site_hash in
+  Mutex.unlock mutex;
+  (* the same hash lands on the per-domain ring so allocation bursts line
+     up with steals/claims/GC events on one timeline *)
+  Ring.record Ring.Alloc_sample site_hash words
+
+let frames_of_callstack bt =
+  match Printexc.backtrace_slots bt with
+  | None -> [||]
+  | Some slots ->
+      let out = ref [] in
+      Array.iter
+        (fun slot ->
+          match Printexc.Slot.location slot with
+          | None -> ()
+          | Some loc ->
+              let name =
+                match Printexc.Slot.name slot with Some n -> n | None -> "?"
+              in
+              out :=
+                Printf.sprintf "%s@%s:%d" name loc.Printexc.filename
+                  loc.Printexc.line_number
+                :: !out)
+        slots;
+      Array.of_list (List.rev !out)
+
+let on_sample ~minor ~n_samples ~size ~callstack =
+  record
+    ~frames:(frames_of_callstack callstack)
+    ~minor ~n_samples ~words:size ~section:(Span.current ())
+    ~phase_slot:(current_slot ())
+    ~domain:(Domain.self () :> int)
+
+(* ---- lifecycle ------------------------------------------------------- *)
+
+let supported = Memprof_backend.supported
+let default_rate = 1e-4
+let default_depth = 32
+
+let clear_locked () =
+  Hashtbl.reset stacks;
+  sampled_blocks := 0;
+  started := false;
+  rate := 0.0;
+  depth := 0
+
+let start ?(sampling_rate = default_rate) ?(callstack_size = default_depth) () =
+  match
+    Memprof_backend.start ~sampling_rate ~callstack_size ~on_sample
+  with
+  | Ok () ->
+      Mutex.lock mutex;
+      clear_locked ();
+      started := true;
+      is_running := true;
+      rate := sampling_rate;
+      depth := callstack_size;
+      Mutex.unlock mutex;
+      Ok ()
+  | Error _ as e -> e
+
+let stop () =
+  Memprof_backend.stop ();
+  Mutex.lock mutex;
+  is_running := false;
+  Mutex.unlock mutex
+
+let running () = !is_running
+
+let reset () =
+  Memprof_backend.stop ();
+  Mutex.lock mutex;
+  is_running := false;
+  clear_locked ();
+  Mutex.unlock mutex
+
+let inject ?domain ?section ?phase ~frames ~minor ~n_samples ~words () =
+  let domain = match domain with Some d -> d | None -> (Domain.self () :> int) in
+  let section = match section with Some _ as s -> s | None -> Span.current () in
+  let phase_slot =
+    match phase with Some p -> phase_code p | None -> current_slot ()
+  in
+  Mutex.lock mutex;
+  started := true;
+  Mutex.unlock mutex;
+  record ~frames:(Array.of_list frames) ~minor ~n_samples ~words ~section
+    ~phase_slot ~domain
+
+(* ---- snapshot -------------------------------------------------------- *)
+
+type site = {
+  site : string;
+  site_hash : int;
+  frames : string list;
+  minor_samples : int;
+  major_samples : int;
+  minor_words : int;
+  major_words : int;
+  share_pct : float;
+  by_section : (string * int) list;
+  by_phase : (string * int) list;
+  by_domain : (int * int) list;
+}
+
+type profile = {
+  sampling_rate : float;
+  callstack_size : int;
+  blocks : int;
+  samples : int;
+  sampled_minor_words : int;
+  sampled_major_words : int;
+  estimated_total_words : float;
+  attributed_pct : float;
+  sites : site list;
+  by_section : (string * int) list;
+  by_phase : (string * int) list;
+  by_domain : (int * int) list;
+}
+
+let pct part whole = if whole <= 0 then 0.0 else 100.0 *. float part /. float whole
+
+let sorted_words tbl =
+  Hashtbl.fold (fun k v l -> (k, v) :: l) tbl []
+  |> List.sort (fun (ka, wa) (kb, wb) ->
+         if wa <> wb then compare wb wa else compare ka kb)
+
+let phase_words arr =
+  let out = ref [] in
+  for slot = n_phase_slots - 1 downto 0 do
+    if arr.(slot) > 0 then
+      let name =
+        if slot = untagged_slot then "untagged" else phase_name (phase_of_code slot)
+      in
+      out := (name, arr.(slot)) :: !out
+  done;
+  !out
+
+let profile () =
+  Mutex.lock mutex;
+  if not !started then begin
+    Mutex.unlock mutex;
+    None
+  end
+  else begin
+    (* group per-stack accumulators by site *)
+    let by_site : (string, string list * int * acc) Hashtbl.t = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ (e : stack_entry) ->
+        let _, _, a =
+          match Hashtbl.find_opt by_site e.site with
+          | Some g -> g
+          | None ->
+              let g = (e.lib_frames, e.site_hash, new_acc ()) in
+              Hashtbl.add by_site e.site g;
+              g
+        in
+        a.minor_samples <- a.minor_samples + e.acc.minor_samples;
+        a.major_samples <- a.major_samples + e.acc.major_samples;
+        a.minor_words <- a.minor_words + e.acc.minor_words;
+        a.major_words <- a.major_words + e.acc.major_words;
+        Hashtbl.iter (fun k w -> bump a.by_section k w) e.acc.by_section;
+        Array.iteri (fun i w -> a.by_phase.(i) <- a.by_phase.(i) + w) e.acc.by_phase;
+        Hashtbl.iter (fun k w -> bump a.by_domain k w) e.acc.by_domain)
+      stacks;
+    let totals = new_acc () in
+    Hashtbl.iter
+      (fun _ ((_, _, a) : string list * int * acc) ->
+        totals.minor_samples <- totals.minor_samples + a.minor_samples;
+        totals.major_samples <- totals.major_samples + a.major_samples;
+        totals.minor_words <- totals.minor_words + a.minor_words;
+        totals.major_words <- totals.major_words + a.major_words;
+        Hashtbl.iter (fun k w -> bump totals.by_section k w) a.by_section;
+        Array.iteri (fun i w -> totals.by_phase.(i) <- totals.by_phase.(i) + w) a.by_phase;
+        Hashtbl.iter (fun k w -> bump totals.by_domain k w) a.by_domain)
+      by_site;
+    let total_words = totals.minor_words + totals.major_words in
+    let sites =
+      Hashtbl.fold
+        (fun name ((frames, hash, a) : string list * int * acc) l ->
+          {
+            site = name;
+            site_hash = hash;
+            frames;
+            minor_samples = a.minor_samples;
+            major_samples = a.major_samples;
+            minor_words = a.minor_words;
+            major_words = a.major_words;
+            share_pct = pct (a.minor_words + a.major_words) total_words;
+            by_section = sorted_words a.by_section;
+            by_phase = phase_words a.by_phase;
+            by_domain =
+              List.sort compare
+                (Hashtbl.fold (fun k v l -> (k, v) :: l) a.by_domain []);
+          }
+          :: l)
+        by_site []
+      |> List.sort (fun a b ->
+             let wa = a.minor_words + a.major_words
+             and wb = b.minor_words + b.major_words in
+             if wa <> wb then compare wb wa else compare a.site b.site)
+    in
+    let unattributed_words =
+      List.fold_left
+        (fun acc s ->
+          if s.site = unattributed then acc + s.minor_words + s.major_words
+          else acc)
+        0 sites
+    in
+    let samples = totals.minor_samples + totals.major_samples in
+    let p =
+      {
+        sampling_rate = !rate;
+        callstack_size = !depth;
+        blocks = !sampled_blocks;
+        samples;
+        sampled_minor_words = totals.minor_words;
+        sampled_major_words = totals.major_words;
+        estimated_total_words =
+          (if !rate > 0.0 then float samples /. !rate else 0.0);
+        attributed_pct = pct (total_words - unattributed_words) total_words;
+        sites;
+        by_section = sorted_words totals.by_section;
+        by_phase = phase_words totals.by_phase;
+        by_domain =
+          List.sort compare
+            (Hashtbl.fold (fun k v l -> (k, v) :: l) totals.by_domain []);
+      }
+    in
+    Mutex.unlock mutex;
+    Some p
+  end
+
+(* ---- collapsed stacks ------------------------------------------------ *)
+
+let collapsed_lines () =
+  Mutex.lock mutex;
+  let lines =
+    Hashtbl.fold
+      (fun _ (e : stack_entry) l ->
+        let words = e.acc.minor_words + e.acc.major_words in
+        let frames =
+          match e.frames with
+          | [||] -> [ "[unknown]" ]
+          | fs -> List.rev (Array.to_list fs)  (* collapsed format is root-first *)
+        in
+        Printf.sprintf "%s %d" (String.concat ";" frames) words :: l)
+      stacks []
+  in
+  Mutex.unlock mutex;
+  List.sort compare lines
+
+let write_collapsed path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        (collapsed_lines ()))
+
+(* ---- JSON ------------------------------------------------------------ *)
+
+let words_json l = Json.Obj (List.map (fun (k, w) -> (k, Json.Int w)) l)
+
+let domain_words_json l =
+  Json.Obj (List.map (fun (d, w) -> (string_of_int d, Json.Int w)) l)
+
+let site_to_json s =
+  Json.Obj
+    [
+      ("site", Json.String s.site);
+      ("site_hash", Json.Int s.site_hash);
+      ("frames", Json.List (List.map (fun f -> Json.String f) s.frames));
+      ("minor_samples", Json.Int s.minor_samples);
+      ("major_samples", Json.Int s.major_samples);
+      ("minor_words", Json.Int s.minor_words);
+      ("major_words", Json.Int s.major_words);
+      ("share_pct", Json.Float s.share_pct);
+      ("by_section", words_json s.by_section);
+      ("by_phase", words_json s.by_phase);
+      ("by_domain", domain_words_json s.by_domain);
+    ]
+
+let to_json p =
+  Json.Obj
+    [
+      ("sampling_rate", Json.Float p.sampling_rate);
+      ("callstack_size", Json.Int p.callstack_size);
+      ("blocks", Json.Int p.blocks);
+      ("samples", Json.Int p.samples);
+      ("sampled_minor_words", Json.Int p.sampled_minor_words);
+      ("sampled_major_words", Json.Int p.sampled_major_words);
+      ("estimated_total_words", Json.Float p.estimated_total_words);
+      ("attributed_pct", Json.Float p.attributed_pct);
+      ("by_section", words_json p.by_section);
+      ("by_phase", words_json p.by_phase);
+      ("by_domain", domain_words_json p.by_domain);
+      ("sites", Json.List (List.map site_to_json p.sites));
+    ]
+
+let words_of_json j =
+  match j with
+  | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun w -> (k, w)) (Json.to_int_opt v))
+        kvs
+  | _ -> []
+
+let domain_words_of_json j =
+  match j with
+  | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+          match (int_of_string_opt k, Json.to_int_opt v) with
+          | Some d, Some w -> Some (d, w)
+          | _ -> None)
+        kvs
+  | _ -> []
+
+let int_field j name = Option.value ~default:0 (Option.bind (Json.member name j) Json.to_int_opt)
+
+let float_field j name =
+  Option.value ~default:0.0 (Option.bind (Json.member name j) Json.to_number_opt)
+
+let site_of_json j =
+  match Option.bind (Json.member "site" j) Json.to_string_opt with
+  | None -> Error "allocation_profile site entry is missing \"site\""
+  | Some name ->
+      Ok
+        {
+          site = name;
+          site_hash = int_field j "site_hash";
+          frames =
+            (match Option.bind (Json.member "frames" j) Json.to_list_opt with
+            | Some fs -> List.filter_map Json.to_string_opt fs
+            | None -> []);
+          minor_samples = int_field j "minor_samples";
+          major_samples = int_field j "major_samples";
+          minor_words = int_field j "minor_words";
+          major_words = int_field j "major_words";
+          share_pct = float_field j "share_pct";
+          by_section = words_of_json (Json.member "by_section" j);
+          by_phase = words_of_json (Json.member "by_phase" j);
+          by_domain = domain_words_of_json (Json.member "by_domain" j);
+        }
+
+let of_json j =
+  match j with
+  | Json.Obj _ ->
+      let rec sites_of = function
+        | [] -> Ok []
+        | s :: rest ->
+            Result.bind (site_of_json s) (fun site ->
+                Result.map (fun l -> site :: l) (sites_of rest))
+      in
+      let sites_json =
+        Option.value ~default:[] (Option.bind (Json.member "sites" j) Json.to_list_opt)
+      in
+      Result.map
+        (fun sites ->
+          {
+            sampling_rate = float_field j "sampling_rate";
+            callstack_size = int_field j "callstack_size";
+            blocks = int_field j "blocks";
+            samples = int_field j "samples";
+            sampled_minor_words = int_field j "sampled_minor_words";
+            sampled_major_words = int_field j "sampled_major_words";
+            estimated_total_words = float_field j "estimated_total_words";
+            attributed_pct = float_field j "attributed_pct";
+            sites;
+            by_section = words_of_json (Json.member "by_section" j);
+            by_phase = words_of_json (Json.member "by_phase" j);
+            by_domain = domain_words_of_json (Json.member "by_domain" j);
+          })
+        (sites_of sites_json)
+  | _ -> Error "allocation_profile must be a JSON object"
+
+(* ---- report ---------------------------------------------------------- *)
+
+let hot_share_pct = 10.0
+
+let pp_words_line ppf label l total =
+  if l <> [] then begin
+    Format.fprintf ppf "  %s" label;
+    List.iter
+      (fun (k, w) -> Format.fprintf ppf " %s=%d (%.1f%%)" k w (pct w total))
+      l;
+    Format.fprintf ppf "@."
+  end
+
+let pp ?(top = 20) ppf p =
+  let total = p.sampled_minor_words + p.sampled_major_words in
+  Format.fprintf ppf
+    "allocation profile: rate %.1e, callstack depth %d@.  %d blocks, %d \
+     samples, %d sampled words (minor %d, major %d)@.  estimated total %.3e \
+     words; %.1f%% attributed to lib/ sites@."
+    p.sampling_rate p.callstack_size p.blocks p.samples total
+    p.sampled_minor_words p.sampled_major_words p.estimated_total_words
+    p.attributed_pct;
+  pp_words_line ppf "by section:" p.by_section total;
+  pp_words_line ppf "by phase:  " p.by_phase total;
+  pp_words_line ppf "by domain: "
+    (List.map (fun (d, w) -> (string_of_int d, w)) p.by_domain)
+    total;
+  Format.fprintf ppf "top allocation sites (by sampled words):@.";
+  Format.fprintf ppf "  %10s  %6s  site@." "words" "share";
+  let shown = take top p.sites in
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %10d  %5.1f%%  %s%s@."
+        (s.minor_words + s.major_words)
+        s.share_pct s.site
+        (if s.share_pct > hot_share_pct then "  [>10%]" else ""))
+    shown;
+  if List.length p.sites > top then
+    Format.fprintf ppf "  ... %d more site(s)@." (List.length p.sites - top);
+  let hot =
+    List.filter (fun s -> s.share_pct > hot_share_pct && s.site <> unattributed) p.sites
+  in
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "WARN: site %s holds %.1f%% of sampled words (> %.0f%%)@."
+        s.site s.share_pct hot_share_pct)
+    hot

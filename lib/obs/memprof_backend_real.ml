@@ -1,0 +1,55 @@
+(* Selected by the dune rules in this directory on OCaml >= 5.3: the real
+   statmemprof hookup. Callbacks run on the allocating domain, so the
+   front-end can read per-domain state (phase, domain id) directly. A
+   domain is profiled only if it is running — or is spawned — after
+   [start], so profiling must begin before the worker pool exists.
+
+   Only [Normal] allocations are forwarded: [Marshal]/[Custom] blocks
+   carry no useful call site for the lib/ attribution this feeds. The
+   sample callback is wrapped in a catch-all because an exception
+   escaping a memprof callback would surface at an arbitrary allocation
+   point in profiled code. *)
+
+let supported = true
+let handle : Gc.Memprof.t option ref = ref None
+
+let start ~sampling_rate ~callstack_size
+    ~(on_sample :
+        minor:bool ->
+        n_samples:int ->
+        size:int ->
+        callstack:Printexc.raw_backtrace ->
+        unit) : (unit, string) result =
+  match !handle with
+  | Some _ -> Error "allocation profiler is already running"
+  | None -> (
+      let sample minor (a : Gc.Memprof.allocation) =
+        (match a.Gc.Memprof.source with
+        | Gc.Memprof.Normal -> (
+            try
+              on_sample ~minor ~n_samples:a.Gc.Memprof.n_samples
+                ~size:a.Gc.Memprof.size ~callstack:a.Gc.Memprof.callstack
+            with _ -> ())
+        | Gc.Memprof.Marshal | Gc.Memprof.Custom -> ());
+        None
+      in
+      let tracker =
+        {
+          Gc.Memprof.null_tracker with
+          Gc.Memprof.alloc_minor = sample true;
+          Gc.Memprof.alloc_major = sample false;
+        }
+      in
+      match Gc.Memprof.start ~sampling_rate ~callstack_size tracker with
+      | t ->
+          handle := Some t;
+          Ok ()
+      | exception e -> Error (Printexc.to_string e))
+
+let stop () =
+  match !handle with
+  | None -> ()
+  | Some t ->
+      handle := None;
+      (try Gc.Memprof.stop () with _ -> ());
+      (try Gc.Memprof.discard t with _ -> ())

@@ -1,0 +1,21 @@
+(* Selected by the dune rules in this directory on OCaml < 5.3, where
+   [Gc.Memprof] is either absent or raises at runtime under multicore
+   ("not implemented in multicore" on 5.1/5.2). Keeps [Obs.Memprof]
+   linkable on every compiler in the CI matrix; [start] reports the
+   unsupported configuration so callers can exit gracefully. *)
+
+let supported = false
+
+let start ~sampling_rate:(_ : float) ~callstack_size:(_ : int)
+    ~on_sample:
+      (_ :
+        minor:bool ->
+        n_samples:int ->
+        size:int ->
+        callstack:Printexc.raw_backtrace ->
+        unit) : (unit, string) result =
+  Error
+    "allocation profiling needs OCaml >= 5.3 (Gc.Memprof is not implemented \
+     under multicore on 5.1/5.2)"
+
+let stop () = ()

@@ -1,11 +1,13 @@
-let schema_version = 4
+let schema_version = 5
 
 (* v1 documents (no per-span "gc", no histogram percentiles), v2
-   documents (no PAR per-domain telemetry) and v3 documents (no
-   work-stealing counters) remain valid: older BENCH_*.json baselines
-   must stay loadable by the differ. v3 and v4 only add optional
-   section-metric fields, so the validator body is shared. *)
-let accepted_versions = [ 1; 2; 3; 4 ]
+   documents (no PAR per-domain telemetry), v3 documents (no
+   work-stealing counters) and v4 documents (no allocation profile)
+   remain valid: older BENCH_*.json baselines must stay loadable by the
+   differ. v3/v4 only add optional section-metric fields and v5 only an
+   optional top-level "allocation_profile" block, so the validator body
+   is shared. *)
+let accepted_versions = [ 1; 2; 3; 4; 5 ]
 
 type row = {
   quantity : string;
@@ -67,15 +69,23 @@ let span_to_json (s : Span.span) =
 
 let to_json t =
   Gc_stats.publish_gauges ();
+  (* v5: present only when a Memprof session ran, so unprofiled documents
+     stay structurally identical to v4. *)
+  let allocation_profile =
+    match Memprof.profile () with
+    | Some p -> [ ("allocation_profile", Memprof.to_json p) ]
+    | None -> []
+  in
   Json.Obj
-    [
-      ("schema_version", Json.Int schema_version);
-      ("generated_by", Json.String t.generated_by);
-      ("generated_at_unix", Json.Float (Unix.time ()));
-      ("experiments", Json.List (List.rev_map section_to_json t.sections));
-      ("metrics", Metrics.snapshot ());
-      ("spans", Json.List (List.map span_to_json (Span.spans ())));
-    ]
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("generated_by", Json.String t.generated_by);
+       ("generated_at_unix", Json.Float (Unix.time ()));
+       ("experiments", Json.List (List.rev_map section_to_json t.sections));
+       ("metrics", Metrics.snapshot ());
+       ("spans", Json.List (List.map span_to_json (Span.spans ())));
+     ]
+    @ allocation_profile)
 
 let write t ~path = Json.write_file path (to_json t)
 
@@ -172,6 +182,23 @@ let validate_span i s =
       | Some _ -> Error (ctx ^ ".gc must be an object"));
     ]
 
+(* v5's optional block; checked lightly (the site list shape plus the
+   sampling rate) so future profile fields stay backward compatible. *)
+let validate_allocation_profile j =
+  match field j "allocation_profile" with
+  | None -> Ok ()
+  | Some (Json.Obj _ as a) ->
+      let ctx = "allocation_profile" in
+      check_all
+        [
+          (match Option.bind (field a "sampling_rate") Json.to_number_opt with
+          | Some _ -> Ok ()
+          | None -> Error (ctx ^ ".sampling_rate must be a number"));
+          check_list a ~ctx "sites" (fun i s ->
+              check_string s ~ctx:(Printf.sprintf "%s.sites[%d]" ctx i) "site");
+        ]
+  | Some _ -> Error "allocation_profile must be an object"
+
 let validate j =
   match j with
   | Json.Obj _ ->
@@ -191,5 +218,6 @@ let validate j =
       let* metrics = need "metrics (object)" (field j "metrics") in
       let* () = validate_metrics_snapshot metrics in
       let* () = check_list j ~ctx:"document" "spans" validate_span in
+      let* () = validate_allocation_profile j in
       Ok ()
   | _ -> Error "document must be a JSON object"

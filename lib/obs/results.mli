@@ -11,7 +11,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 4,
+    { "schema_version": 5,
       "generated_by": "<tool>",
       "generated_at_unix": <float>,
       "experiments": [
@@ -36,13 +36,17 @@
     counters to the ["par_solve"] object: ["steals"], ["claim_hits"],
     ["claim_misses"] and ["pruned_subtrees"] (ints). All v3/v4 additions
     live inside the free-form section metrics, so every v4 document is
-    structurally valid v2. [validate] accepts v1–v4 documents — saved
-    baselines must stay loadable — and is shared by the smoke schema
-    checker, the differ and the test suite, so the schema cannot
-    silently drift from its validator. *)
+    structurally valid v2. v5 added an optional top-level
+    ["allocation_profile"] object ({!Memprof.to_json}: sampling rate,
+    sampled/estimated word counts, the allocation-site table with
+    per-section/per-phase/per-domain rollups), emitted only when an
+    {!Memprof} session ran during the producing process. [validate]
+    accepts v1–v5 documents — saved baselines must stay loadable — and
+    is shared by the smoke schema checker, the differ and the test
+    suite, so the schema cannot silently drift from its validator. *)
 
 (** The version written by [to_json]; [validate] also accepts earlier
-    versions (currently 1 and 2). *)
+    versions (see [accepted_versions] in the implementation). *)
 val schema_version : int
 
 type t

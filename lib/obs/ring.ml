@@ -19,6 +19,7 @@ type tag =
   | Steal
   | Claim_hit
   | Claim_miss
+  | Alloc_sample
 
 (* Wire codes are part of the dump format: append only, never renumber. *)
 let tag_code = function
@@ -42,13 +43,14 @@ let tag_code = function
   | Steal -> 17
   | Claim_hit -> 18
   | Claim_miss -> 19
+  | Alloc_sample -> 20
 
 let all_tags =
   [
     Solver_expand; Solver_hit; Solver_terminal; Solver_prune; Pool_task_start;
     Pool_task_stop; Pool_idle_start; Pool_idle_stop; Pool_queue_depth;
     Sim_step; Sim_deliver; Sim_crash; Adv_decision; Gc_minor; Gc_major;
-    Domain_spawn; Domain_stop; Steal; Claim_hit; Claim_miss;
+    Domain_spawn; Domain_stop; Steal; Claim_hit; Claim_miss; Alloc_sample;
   ]
 
 let tag_of_code c = List.find_opt (fun t -> tag_code t = c) all_tags
@@ -74,6 +76,7 @@ let tag_name = function
   | Steal -> "steal"
   | Claim_hit -> "claim_hit"
   | Claim_miss -> "claim_miss"
+  | Alloc_sample -> "alloc_sample"
 
 (* ---- per-domain rings ------------------------------------------------ *)
 
@@ -496,6 +499,9 @@ let chrome_domain_events ~pid d =
             [ ("owner", Json.Int e.a); ("depth", Json.Int e.b) ]
       | Steal ->
           instant "steal" [ ("victim", Json.Int e.a); ("item", Json.Int e.b) ]
+      | Alloc_sample ->
+          instant "alloc_sample"
+            [ ("site", Json.Int e.a); ("words", Json.Int e.b) ]
       | Sim_step | Sim_deliver | Sim_crash ->
           instant (tag_name e.tag) [ ("id", Json.Int e.a) ]
       | Domain_spawn | Domain_stop ->

@@ -50,7 +50,11 @@
       [Claim_hit] is a shared-memo probe that found a resolved value
       ([a] = state-key hash, [b] = depth); [Claim_miss] is a probe that
       found another worker's live claim and entered the helping protocol
-      ([a] = the claim's owner worker id, [b] = depth). *)
+      ([a] = the claim's owner worker id, [b] = depth);
+    - [Alloc_sample]: a statistical allocation sample from
+      {!Obs.Memprof} ([a] = allocation-site hash as in the results
+      document's ["allocation_profile"] [site_hash] fields,
+      [b] = sampled block size in words). *)
 type tag =
   | Solver_expand
   | Solver_hit
@@ -72,6 +76,7 @@ type tag =
   | Steal
   | Claim_hit
   | Claim_miss
+  | Alloc_sample
 
 (** Stable wire codes for dump files: [tag_code] is injective and
     [tag_of_code (tag_code t) = Some t]. *)

@@ -8,6 +8,8 @@ type domain_report = {
   claim_misses : int;
   steals : int;
   pruned : int;
+  alloc_samples : int;
+  alloc_words : int;
   hit_rate : float;
   busy_us : float;
   idle_us : float;
@@ -15,6 +17,7 @@ type domain_report = {
 }
 
 type hot_state = { key_hash : int; expansions : int; hits : int; domains : int }
+type alloc_site = { site_hash : int; samples : int; words : int; alloc_domains : int }
 
 type decision_summary = {
   decisions : int;
@@ -36,6 +39,7 @@ type t = {
   distinct_keys : int;
   duplicated_keys : int;
   duplicated_work_pct : float;
+  allocators : alloc_site list;
   queue_depths : (int * int) list;
   decisions : decision_summary option;
   timeline_buckets : int;
@@ -49,6 +53,14 @@ type key_acc = {
   mutable hits : int;
   mutable expand_domains : int list;  (* distinct, unsorted *)
   mutable touch_domains : int list;
+}
+
+(* Per-allocation-site accumulator (site hash = the [Alloc_sample] [a]
+   payload, joinable with the results document's [site_hash] fields). *)
+type alloc_acc = {
+  mutable al_samples : int;
+  mutable al_words : int;
+  mutable al_domains : int list;
 }
 
 let add_domain d ds = if List.mem d ds then ds else d :: ds
@@ -111,6 +123,15 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
         a
   in
   let queue : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let allocs : (int, alloc_acc) Hashtbl.t = Hashtbl.create 64 in
+  let alloc h =
+    match Hashtbl.find_opt allocs h with
+    | Some a -> a
+    | None ->
+        let a = { al_samples = 0; al_words = 0; al_domains = [] } in
+        Hashtbl.add allocs h a;
+        a
+  in
   let dec_count = ref 0
   and dec_forced = ref 0
   and dec_min = ref max_int
@@ -126,6 +147,7 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
         let hits = ref 0 and misses = ref 0 in
         let c_hits = ref 0 and c_misses = ref 0 in
         let steals = ref 0 and pruned = ref 0 in
+        let a_samples = ref 0 and a_words = ref 0 in
         let pending_decision = ref false in
         List.iter
           (fun (e : Ring.event) ->
@@ -148,6 +170,13 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
                 incr c_misses
             | Ring.Steal -> incr steals
             | Ring.Solver_prune -> incr pruned
+            | Ring.Alloc_sample ->
+                incr a_samples;
+                a_words := !a_words + e.b;
+                let a = alloc e.a in
+                a.al_samples <- a.al_samples + 1;
+                a.al_words <- a.al_words + e.b;
+                a.al_domains <- add_domain dd.domain a.al_domains
             | Ring.Solver_expand ->
                 incr misses;
                 let a = key e.a in
@@ -198,6 +227,8 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
           claim_misses = !c_misses;
           steals = !steals;
           pruned = !pruned;
+          alloc_samples = !a_samples;
+          alloc_words = !a_words;
           hit_rate =
             (if total = 0 then 0.0
              else float_of_int all_hits /. float_of_int total);
@@ -232,6 +263,19 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
            | c -> c)
     |> List.filteri (fun i _ -> i < top)
   in
+  let allocators =
+    Hashtbl.fold
+      (fun h a acc ->
+        { site_hash = h; samples = a.al_samples; words = a.al_words;
+          alloc_domains = List.length a.al_domains }
+        :: acc)
+      allocs []
+    |> List.sort (fun (x : alloc_site) (y : alloc_site) ->
+           match compare (y.words, y.samples) (x.words, x.samples) with
+           | 0 -> compare x.site_hash y.site_hash
+           | c -> c)
+    |> List.filteri (fun i _ -> i < top)
+  in
   {
     t0_us = t0;
     t1_us = t1;
@@ -246,6 +290,7 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
          100.0
          *. float_of_int (!total_expansions - !distinct)
          /. float_of_int !total_expansions);
+    allocators;
     queue_depths =
       Hashtbl.fold (fun d c acc -> (d, c) :: acc) queue []
       |> List.sort (fun (a, _) (b, _) -> compare a b);
@@ -291,16 +336,17 @@ let pp ppf t =
     (if List.length t.domains = 1 then "" else "s")
     total_dropped span_s;
   if t.domains <> [] then begin
-    Fmt.pf ppf "@,%-8s %9s %9s %9s %9s %8s %7s@," "domain" "events" "expand"
-      "hits" "hit-rate" "busy(s)" "util";
+    Fmt.pf ppf "@,%-8s %9s %9s %9s %9s %8s %7s %10s@," "domain" "events"
+      "expand" "hits" "hit-rate" "busy(s)" "util" "alloc(w)";
     List.iter
       (fun (d : domain_report) ->
-        Fmt.pf ppf "%-8d %9d %9d %9d %8.1f%% %8.3f %6.1f%%@," d.domain d.events
-          d.solver_misses
+        Fmt.pf ppf "%-8d %9d %9d %9d %8.1f%% %8.3f %6.1f%% %10d@," d.domain
+          d.events d.solver_misses
           (d.solver_hits + d.claim_hits)
           (100.0 *. d.hit_rate)
           (d.busy_us /. 1e6)
-          (100.0 *. d.utilization))
+          (100.0 *. d.utilization)
+          d.alloc_words)
       t.domains;
     let sum f = List.fold_left (fun a d -> a + f d) 0 t.domains in
     let steals = sum (fun d -> d.steals)
@@ -318,7 +364,20 @@ let pp ppf t =
         c_misses
         (if c_misses = 1 then "" else "es")
         pruned
-        (if pruned = 1 then "" else "s")
+        (if pruned = 1 then "" else "s");
+    let a_samples = sum (fun (d : domain_report) -> d.alloc_samples)
+    and a_words = sum (fun (d : domain_report) -> d.alloc_words) in
+    if a_samples > 0 then begin
+      Fmt.pf ppf "@,allocation: %d sample%s, %d sampled words@," a_samples
+        (if a_samples = 1 then "" else "s")
+        a_words;
+      Fmt.pf ppf "top allocators (by sampled words):@,";
+      List.iter
+        (fun (s : alloc_site) ->
+          Fmt.pf ppf "  site %08x  words %d  samples %d  domains %d@,"
+            s.site_hash s.words s.samples s.alloc_domains)
+        t.allocators
+    end
   end;
   if t.total_expansions > 0 then begin
     Fmt.pf ppf
@@ -376,6 +435,8 @@ let to_json t =
         ("claim_misses", Json.Int d.claim_misses);
         ("steals", Json.Int d.steals);
         ("pruned", Json.Int d.pruned);
+        ("alloc_samples", Json.Int d.alloc_samples);
+        ("alloc_words", Json.Int d.alloc_words);
         ("hit_rate", Json.Float d.hit_rate);
         ("busy_us", Json.Float d.busy_us);
         ("idle_us", Json.Float d.idle_us);
@@ -391,6 +452,15 @@ let to_json t =
         ("domains", Json.Int h.domains);
       ]
   in
+  let alloc_json (s : alloc_site) =
+    Json.Obj
+      [
+        ("site_hash", Json.Int s.site_hash);
+        ("samples", Json.Int s.samples);
+        ("words", Json.Int s.words);
+        ("domains", Json.Int s.alloc_domains);
+      ]
+  in
   Json.Obj
     ([
        ("t0_us", Json.Float t.t0_us);
@@ -401,6 +471,7 @@ let to_json t =
        ("distinct_keys", Json.Int t.distinct_keys);
        ("duplicated_keys", Json.Int t.duplicated_keys);
        ("duplicated_work_pct", Json.Float t.duplicated_work_pct);
+       ("allocators", Json.List (List.map alloc_json t.allocators));
        ( "queue_depths",
          Json.Obj
            (List.map

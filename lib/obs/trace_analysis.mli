@@ -25,6 +25,8 @@ type domain_report = {
   claim_misses : int;  (** probes of a live claim ([Claim_miss], helping) *)
   steals : int;  (** successful deque steals ([Steal]) *)
   pruned : int;  (** interval cuts ([Solver_prune]) *)
+  alloc_samples : int;  (** {!Obs.Memprof} samples ([Alloc_sample]) *)
+  alloc_words : int;  (** sampled allocation words on this domain *)
   hit_rate : float;
       (** (solver + claim hits) / (all hits + misses), 0 when idle *)
   busy_us : float;  (** total time inside pool task slices *)
@@ -37,6 +39,17 @@ type hot_state = {
   expansions : int;  (** times expanded (memo misses) across domains *)
   hits : int;
   domains : int;  (** distinct domains that touched the key *)
+}
+
+(** One aggregated allocation site from [Alloc_sample] events. The hash
+    is the one carried in the results document's ["allocation_profile"]
+    [site_hash] fields, so trace timelines and named profile tables
+    join. *)
+type alloc_site = {
+  site_hash : int;
+  samples : int;
+  words : int;  (** sampled words *)
+  alloc_domains : int;  (** distinct domains that sampled the site *)
 }
 
 (** Attribution of adversary decisions recorded by the simulator's run
@@ -63,6 +76,7 @@ type t = {
   duplicated_keys : int;  (** hashes expanded on >= 2 domains *)
   duplicated_work_pct : float;
       (** 100 * (expansions - distinct) / expansions over >= 2 domains *)
+  allocators : alloc_site list;  (** top-N by sampled words *)
   queue_depths : (int * int) list;  (** depth -> samples, ascending *)
   decisions : decision_summary option;  (** None without [Adv_decision]s *)
   timeline_buckets : int;
@@ -71,8 +85,8 @@ type t = {
 }
 
 (** [analyze ?top ?buckets d] computes the report; [top] (default 10)
-    bounds the hot-state list, [buckets] (default 20) the utilization
-    timeline's resolution. *)
+    bounds the hot-state and allocator lists, [buckets] (default 20) the
+    utilization timeline's resolution. *)
 val analyze : ?top:int -> ?buckets:int -> Ring.dump -> t
 
 val pp : Format.formatter -> t -> unit

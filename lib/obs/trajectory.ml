@@ -104,7 +104,20 @@ let series_of_section section =
         else None)
       metrics
   in
-  rows @ metrics @ derived
+  (* GC trendline for the zero-alloc roadmap item: normalize the
+     per-section minor-word count by the section's simulator steps, so
+     allocation-rate regressions show across baselines whose step counts
+     differ. *)
+  let gc_derived =
+    match
+      ( List.assoc_opt "gc.minor_words" metrics,
+        List.assoc_opt "counters.sim.steps" metrics )
+    with
+    | Some words, Some steps when steps > 0.0 ->
+        [ ("gc.minor_words_per_step", words /. steps) ]
+    | _ -> []
+  in
+  rows @ metrics @ derived @ gc_derived
 
 (* ---- tables ---------------------------------------------------------- *)
 

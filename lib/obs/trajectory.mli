@@ -3,9 +3,12 @@
     Each bench run can land a [BENCH_*.json] results document at the repo
     root; this module scans them into per-section time-series tables —
     measured row values, numeric section metrics (solver states, wall
-    times, GC words), and a derived states/sec wherever a
-    [states_kN]/[solve_seconds_kN] pair exists — one column per trajectory
-    point, rendered as aligned text or markdown. *)
+    times, GC words), a derived states/sec wherever a
+    [states_kN]/[solve_seconds_kN] pair exists, and a derived
+    [gc.minor_words_per_step] wherever a section carries both
+    [gc.minor_words] and [counters.sim.steps] (the zero-alloc roadmap
+    item's trendline) — one column per trajectory point, rendered as
+    aligned text or markdown. *)
 
 type point = { label : string; path : string; doc : Json.t }
 

@@ -201,6 +201,57 @@ let test_nested_metrics_and_report_render () =
       Alcotest.(check bool) (Fmt.str "report mentions %S" needle) true has)
     [ "REGRESSION"; "FAIL"; "q" ]
 
+(* Per-row PAR speedups: a parallel row slower than sequential surfaces
+   as a Warn (never a Fail — timing is machine-dependent, --min-speedup
+   is the opt-in hard gate), a genuine speedup as an Info. The committed
+   BENCH_2026-08-08-par4.json carries a 0.19x solve row that used to sit
+   silently in the metrics. *)
+let test_par_speedup_rows () =
+  let doc =
+    make_doc ~id:"PAR" ~title:"parallel engine"
+      ~metrics:
+        [
+          ("mc_speedup_timing", 0.61);
+          ("solve_speedup_timing", 1.8);
+          ("mc_seq_seconds", 2.0);
+        ]
+      ()
+  in
+  let r = run_diff ~baseline:doc ~current:doc () in
+  let speedups sev =
+    List.filter
+      (fun (f : Obs.Diff.finding) ->
+        f.severity = sev
+        && String.length f.subject > 8
+        && String.sub f.subject 0 8 = "speedup ")
+      r.findings
+  in
+  (match speedups Obs.Diff.Warn with
+  | [ f ] ->
+      Alcotest.(check string) "slow row named" "speedup mc" f.subject;
+      Alcotest.(check bool) "detail carries the ratio" true
+        (let affix = "0.61x" in
+         let n = String.length affix and m = String.length f.detail in
+         let rec go i =
+           i + n <= m && (String.sub f.detail i n = affix || go (i + 1))
+         in
+         go 0)
+  | fs -> Alcotest.failf "expected 1 speedup warning, got %d" (List.length fs));
+  (match speedups Obs.Diff.Info with
+  | [ f ] -> Alcotest.(check string) "fast row named" "speedup solve" f.subject
+  | fs -> Alcotest.failf "expected 1 speedup info, got %d" (List.length fs));
+  Alcotest.(check int) "sub-1.0x is never a hard failure" 0 (count Obs.Diff.Fail r);
+  Alcotest.(check int) "exit 0" 0 (Obs.Diff.exit_code r);
+  (* non-PAR sections never grow speedup findings *)
+  let other = make_doc ~id:"E5" ~metrics:[ ("mc_speedup_timing", 0.4) ] () in
+  let r = run_diff ~baseline:other ~current:other () in
+  Alcotest.(check int) "no speedup findings outside PAR" 0
+    (List.length
+       (List.filter
+          (fun (f : Obs.Diff.finding) ->
+            String.length f.subject > 8 && String.sub f.subject 0 8 = "speedup ")
+          r.findings))
+
 (* ---- Obs.Gc_stats ---------------------------------------------------- *)
 
 let test_gc_stats_measure () =
@@ -270,6 +321,38 @@ let test_trajectory_tables () =
         (series "states/s_k1")
   | ts -> Alcotest.failf "expected 1 table, got %d" (List.length ts)
 
+(* The derived GC series: sections carrying both gc.minor_words and
+   counters.sim.steps grow a gc.minor_words_per_step row; sections
+   missing either (or with zero steps) don't. *)
+let test_trajectory_gc_series () =
+  let gc_doc ~minor_words ~steps =
+    let doc = Obs.Results.create ~generated_by:"test suite" () in
+    let s = Obs.Results.section doc ~id:"E9" ~title:"rounds" in
+    Obs.Results.add_section_metrics s
+      ([ ("gc", Obs.Json.Obj [ ("minor_words", Obs.Json.Float minor_words) ]) ]
+      @
+      match steps with
+      | Some n ->
+          [ ("counters", Obs.Json.Obj [ ("sim.steps", Obs.Json.Int n) ]) ]
+      | None -> []);
+    Obs.Results.to_json doc
+  in
+  let p label doc =
+    match Obs.Trajectory.of_json ~label doc with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "point %s: %s" label e
+  in
+  let a = p "a" (gc_doc ~minor_words:1000.0 ~steps:(Some 50))
+  and b = p "b" (gc_doc ~minor_words:900.0 ~steps:None) in
+  match Obs.Trajectory.tables [ a; b ] with
+  | [ t ] -> (
+      match List.assoc_opt "gc.minor_words_per_step" t.rows with
+      | Some vs ->
+          Alcotest.(check (list (option (float 1e-9))))
+            "derived only where both inputs exist" [ Some 20.0; None ] vs
+      | None -> Alcotest.fail "gc.minor_words_per_step series missing")
+  | ts -> Alcotest.failf "expected 1 table, got %d" (List.length ts)
+
 let test_trajectory_scan () =
   let dir = Filename.temp_file "blunting_traj" "" in
   Sys.remove dir;
@@ -317,7 +400,10 @@ let tests =
       test_v1_baseline_against_v2;
     Alcotest.test_case "diff: nested metrics, rendering" `Quick
       test_nested_metrics_and_report_render;
+    Alcotest.test_case "diff: per-row PAR speedups" `Quick test_par_speedup_rows;
     Alcotest.test_case "gc-stats: measure and serialize" `Quick test_gc_stats_measure;
     Alcotest.test_case "trajectory: per-section tables" `Quick test_trajectory_tables;
+    Alcotest.test_case "trajectory: derived GC series" `Quick
+      test_trajectory_gc_series;
     Alcotest.test_case "trajectory: directory scan" `Quick test_trajectory_scan;
   ]

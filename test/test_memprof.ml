@@ -1,0 +1,257 @@
+(* Tests for the allocation-site profiler: the aggregation, rollups, JSON
+   round-trip, collapsed-stack export and the schema-v5 results wiring.
+   Real Gc.Memprof sampling exists only on OCaml >= 5.3, so everything
+   here drives the aggregation through [inject] (which works on every
+   compiler); [start] itself is probed against [supported], asserting the
+   stub's error on 5.1/5.2 and a live session on 5.3. *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* Profiler state is process-global (like Metrics and Span): start each
+   test clean and leave nothing behind, or later Results.to_json calls in
+   this process would grow an allocation_profile block. *)
+let with_profiler f =
+  Obs.Memprof.reset ();
+  Fun.protect ~finally:(fun () -> Obs.Memprof.reset ()) f
+
+(* Frames are "<fn>@<file>:<line>", innermost first; the site is the
+   innermost frame under lib/. *)
+let f_solver = "expand@lib/mdp/solver.ml:120"
+let f_hash = "hash@stdlib/hashtbl.ml:540"
+let f_runtime = "caml_alloc@runtime/alloc.c:99"
+let f_sim = "step@lib/sim/runtime.ml:300"
+
+let test_start_matches_support () =
+  with_profiler @@ fun () ->
+  match Obs.Memprof.start ~sampling_rate:1e-3 () with
+  | Ok () ->
+      Alcotest.(check bool) "Ok start implies supported" true Obs.Memprof.supported;
+      Alcotest.(check bool) "running" true (Obs.Memprof.running ());
+      Obs.Memprof.stop ();
+      Alcotest.(check bool) "stopped" false (Obs.Memprof.running ())
+  | Error e ->
+      Alcotest.(check bool) "Error start implies unsupported" false
+        Obs.Memprof.supported;
+      Alcotest.(check bool) "error names the version floor" true
+        (contains ~affix:"5.3" e);
+      Alcotest.(check bool) "not running after failed start" false
+        (Obs.Memprof.running ())
+
+let test_no_profile_until_started () =
+  with_profiler @@ fun () ->
+  Alcotest.(check bool) "profile is None before any session" true
+    (Obs.Memprof.profile () = None)
+
+let inject_reference_samples () =
+  (* two stacks sharing the solver site, one sim site, one unattributed *)
+  Obs.Memprof.inject ~domain:0 ~section:"E5" ~phase:Obs.Memprof.Expand
+    ~frames:[ f_hash; f_solver ] ~minor:true ~n_samples:2 ~words:24 ();
+  Obs.Memprof.inject ~domain:1 ~section:"E5" ~phase:Obs.Memprof.Steal
+    ~frames:[ f_hash; f_solver ] ~minor:true ~n_samples:1 ~words:8 ();
+  Obs.Memprof.inject ~domain:0 ~section:"E2" ~phase:Obs.Memprof.Sim_run
+    ~frames:[ f_sim ] ~minor:false ~n_samples:1 ~words:16 ();
+  Obs.Memprof.inject ~domain:0 ~section:"E5" ~phase:Obs.Memprof.Expand
+    ~frames:[ f_runtime ] ~minor:true ~n_samples:1 ~words:4 ()
+
+let test_site_aggregation () =
+  with_profiler @@ fun () ->
+  inject_reference_samples ();
+  match Obs.Memprof.profile () with
+  | None -> Alcotest.fail "profile missing after inject"
+  | Some p ->
+      Alcotest.(check int) "blocks" 4 p.blocks;
+      Alcotest.(check int) "samples" 5 p.samples;
+      Alcotest.(check int) "minor words" 36 p.sampled_minor_words;
+      Alcotest.(check int) "major words" 16 p.sampled_major_words;
+      Alcotest.(check (float 1e-9))
+        "attributed excludes the runtime-only stack"
+        (100.0 *. 48.0 /. 52.0)
+        p.attributed_pct;
+      Alcotest.(check (list string))
+        "sites sorted by sampled words, site = innermost lib/ frame"
+        [ f_solver; f_sim; "<unattributed>" ]
+        (List.map (fun (s : Obs.Memprof.site) -> s.site) p.sites);
+      let solver = List.hd p.sites in
+      Alcotest.(check int) "site hash is the stable string hash"
+        (Hashtbl.hash f_solver) solver.site_hash;
+      Alcotest.(check int) "solver minor samples" 3 solver.minor_samples;
+      Alcotest.(check int) "solver minor words" 32 solver.minor_words;
+      Alcotest.(check (float 1e-9))
+        "solver share" (100.0 *. 32.0 /. 52.0) solver.share_pct;
+      Alcotest.(check (list (pair string int)))
+        "solver phase rollup (slot order)"
+        [ ("expand", 24); ("steal", 8) ]
+        solver.by_phase;
+      Alcotest.(check (list (pair int int)))
+        "solver domain rollup" [ (0, 24); (1, 8) ] solver.by_domain;
+      (* profile-level rollups *)
+      Alcotest.(check (list (pair string int)))
+        "sections sorted by words" [ ("E5", 36); ("E2", 16) ] p.by_section;
+      Alcotest.(check (list (pair string int)))
+        "phase totals"
+        [ ("expand", 28); ("steal", 8); ("sim-run", 16) ]
+        p.by_phase;
+      Alcotest.(check (list (pair int int)))
+        "domain totals" [ (0, 44); (1, 8) ] p.by_domain
+
+(* inject without explicit attribution picks up the ambient span, the
+   calling domain's phase tag, and "(none)" when no span is open *)
+let test_ambient_attribution () =
+  with_profiler @@ fun () ->
+  Obs.Memprof.set_phase (Some Obs.Memprof.Claim_wait);
+  Alcotest.(check bool) "phase reads back" true
+    (Obs.Memprof.phase () = Some Obs.Memprof.Claim_wait);
+  Obs.Memprof.inject ~frames:[ f_solver ] ~minor:true ~n_samples:1 ~words:10 ();
+  Obs.Memprof.set_phase None;
+  Alcotest.(check bool) "phase cleared" true (Obs.Memprof.phase () = None);
+  match Obs.Memprof.profile () with
+  | None -> Alcotest.fail "profile missing"
+  | Some p ->
+      Alcotest.(check (list (pair string int)))
+        "no open span lands in (none)" [ ("(none)", 10) ] p.by_section;
+      Alcotest.(check (list (pair string int)))
+        "ambient phase tag applied" [ ("claim-wait", 10) ] p.by_phase;
+      Alcotest.(check (list (pair int int)))
+        "charged to the calling domain"
+        [ ((Domain.self () :> int), 10) ]
+        p.by_domain
+
+let test_json_round_trip () =
+  with_profiler @@ fun () ->
+  inject_reference_samples ();
+  match Obs.Memprof.profile () with
+  | None -> Alcotest.fail "profile missing"
+  | Some p -> (
+      match Obs.Memprof.of_json (Obs.Memprof.to_json p) with
+      | Error e -> Alcotest.failf "profile did not parse back: %s" e
+      | Ok p' ->
+          (* the JSON printer's %.17g float repr makes this exact *)
+          Alcotest.(check bool) "parsed profile equals original" true (p = p'))
+
+let test_of_json_rejects_junk () =
+  (match Obs.Memprof.of_json (Obs.Json.String "x") with
+  | Error e ->
+      Alcotest.(check bool) "names the object requirement" true
+        (contains ~affix:"object" e)
+  | Ok _ -> Alcotest.fail "non-object accepted");
+  match
+    Obs.Memprof.of_json
+      (Obs.Json.Obj
+         [ ("sites", Obs.Json.List [ Obs.Json.Obj [ ("site_hash", Obs.Json.Int 3) ] ]) ])
+  with
+  | Error e ->
+      Alcotest.(check bool) "site entries need a site name" true
+        (contains ~affix:"site" e)
+  | Ok _ -> Alcotest.fail "nameless site entry accepted"
+
+let test_collapsed_lines () =
+  with_profiler @@ fun () ->
+  inject_reference_samples ();
+  Alcotest.(check (list string))
+    "collapsed stacks: root-first frames, sampled-word weights"
+    [
+      f_runtime ^ " 4";
+      f_solver ^ ";" ^ f_hash ^ " 32";
+      f_sim ^ " 16";
+    ]
+    (Obs.Memprof.collapsed_lines ())
+
+let test_results_v5 () =
+  with_profiler @@ fun () ->
+  (* no session: the document stays profile-free *)
+  let bare = Obs.Results.create ~generated_by:"test" () in
+  (match Obs.Results.to_json bare with
+  | Obs.Json.Obj kvs ->
+      Alcotest.(check bool) "no allocation_profile without a session" false
+        (List.mem_assoc "allocation_profile" kvs)
+  | _ -> Alcotest.fail "results doc is not an object");
+  inject_reference_samples ();
+  let doc = Obs.Results.create ~generated_by:"test" () in
+  let s = Obs.Results.section doc ~id:"E1" ~title:"t" in
+  Obs.Results.row s ~quantity:"q" ~paper:"p" ~measured:"m" ();
+  let j = Obs.Results.to_json doc in
+  (match Option.bind (Obs.Json.member "schema_version" j) Obs.Json.to_int_opt with
+  | Some v -> Alcotest.(check int) "writes schema v5" 5 v
+  | None -> Alcotest.fail "schema_version missing");
+  Alcotest.(check bool) "allocation_profile block present" true
+    (Obs.Json.member "allocation_profile" j <> None);
+  (match Obs.Results.validate j with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v5 document with profile fails validation: %s" e);
+  (* the profile block itself parses back *)
+  (match Obs.Json.member "allocation_profile" j with
+  | Some pj -> (
+      match Obs.Memprof.of_json pj with
+      | Ok p -> Alcotest.(check int) "embedded profile carries the samples" 5 p.samples
+      | Error e -> Alcotest.failf "embedded profile: %s" e)
+  | None -> Alcotest.fail "allocation_profile vanished");
+  (* a corrupted block must fail validation, not slide through *)
+  let corrupt =
+    match j with
+    | Obs.Json.Obj kvs ->
+        Obs.Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "allocation_profile" then (k, Obs.Json.String "nope")
+               else (k, v))
+             kvs)
+    | _ -> assert false
+  in
+  match Obs.Results.validate corrupt with
+  | Error e ->
+      Alcotest.(check bool) "error names the block" true
+        (contains ~affix:"allocation_profile" e)
+  | Ok () -> Alcotest.fail "corrupt allocation_profile validated"
+
+let test_span_current_nesting () =
+  Alcotest.(check (option string)) "no span open" None (Obs.Span.current ());
+  ignore
+    (Obs.Span.time "outer" (fun () ->
+         Alcotest.(check (option string))
+           "outer visible" (Some "outer") (Obs.Span.current ());
+         ignore
+           (Obs.Span.time "inner" (fun () ->
+                Alcotest.(check (option string))
+                  "inner shadows outer" (Some "inner") (Obs.Span.current ())));
+         Alcotest.(check (option string))
+           "outer restored" (Some "outer") (Obs.Span.current ())));
+  Alcotest.(check (option string)) "stack empty again" None (Obs.Span.current ());
+  (* the name pops even when the body raises *)
+  (try ignore (Obs.Span.time "boom" (fun () -> raise Exit)) with Exit -> ());
+  Alcotest.(check (option string))
+    "exception unwinds the span stack" None (Obs.Span.current ())
+
+let test_pp_flags_hot_sites () =
+  with_profiler @@ fun () ->
+  inject_reference_samples ();
+  match Obs.Memprof.profile () with
+  | None -> Alcotest.fail "profile missing"
+  | Some p ->
+      let rendered = Fmt.str "%a" (Obs.Memprof.pp ~top:2) p in
+      Alcotest.(check bool) "solver site flagged over 10%" true
+        (contains ~affix:"WARN: site " rendered);
+      Alcotest.(check bool) "flag names the site" true
+        (contains ~affix:f_solver rendered);
+      Alcotest.(check bool) "truncation noted" true
+        (contains ~affix:"1 more site" rendered)
+
+let tests =
+  [
+    Alcotest.test_case "start agrees with backend support" `Quick
+      test_start_matches_support;
+    Alcotest.test_case "no profile until a session starts" `Quick
+      test_no_profile_until_started;
+    Alcotest.test_case "site aggregation and rollups" `Quick test_site_aggregation;
+    Alcotest.test_case "ambient section/phase/domain attribution" `Quick
+      test_ambient_attribution;
+    Alcotest.test_case "profile JSON round-trip" `Quick test_json_round_trip;
+    Alcotest.test_case "of_json rejects malformed input" `Quick
+      test_of_json_rejects_junk;
+    Alcotest.test_case "collapsed-stack export" `Quick test_collapsed_lines;
+    Alcotest.test_case "results schema v5 wiring" `Quick test_results_v5;
+    Alcotest.test_case "Span.current nesting" `Quick test_span_current_nesting;
+    Alcotest.test_case "pp flags >10% sites" `Quick test_pp_flags_hot_sites;
+  ]

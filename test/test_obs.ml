@@ -395,12 +395,13 @@ let test_results_schema () =
       Obs.Json.Null;
     ]
 
-(* Schema v3/v4 only add optional section-metric fields, so hand-built v1
-   and v2 documents — stand-ins for the BENCH_*.json baselines saved by
-   earlier versions — must still validate, while unknown future versions
-   stay rejected. *)
+(* Schema v3/v4 only add optional section-metric fields and v5 an
+   optional top-level allocation_profile block, so hand-built v1 and v2
+   documents — stand-ins for the BENCH_*.json baselines saved by earlier
+   versions — must still validate, while unknown future versions stay
+   rejected. *)
 let test_schema_version_compat () =
-  Alcotest.(check int) "current schema version" 4 Obs.Results.schema_version;
+  Alcotest.(check int) "current schema version" 5 Obs.Results.schema_version;
   let minimal_doc v =
     Obs.Json.Obj
       [
@@ -432,8 +433,8 @@ let test_schema_version_compat () =
       match Obs.Results.validate (minimal_doc v) with
       | Ok () -> ()
       | Error e -> Alcotest.failf "v%d document rejected: %s" v e)
-    [ 1; 2; 3; 4 ];
-  match Obs.Results.validate (minimal_doc 5) with
+    [ 1; 2; 3; 4; 5 ];
+  match Obs.Results.validate (minimal_doc 6) with
   | Ok () -> Alcotest.fail "future schema version accepted"
   | Error _ -> ()
 

@@ -250,6 +250,158 @@ let test_analyze_synthetic_dump () =
   | Obs.Json.Obj _ -> ()
   | _ -> Alcotest.fail "to_json is not an object"
 
+(* ---- edge cases: the analyzer and parser on degenerate inputs -------- *)
+
+(* An empty dump (no domain ever recorded) must analyze to a report with
+   all-zero aggregates, and render/export without raising. *)
+let test_analyze_empty_dump () =
+  let dump = { Obs.Ring.capacity = 1024; domains = []; runtime = [] } in
+  let t = Obs.Trace_analysis.analyze ~top:5 ~buckets:4 dump in
+  Alcotest.(check int) "no expansions" 0 t.total_expansions;
+  Alcotest.(check int) "no distinct keys" 0 t.distinct_keys;
+  Alcotest.(check int) "no domains" 0 (List.length t.domains);
+  Alcotest.(check int) "no allocators" 0 (List.length t.allocators);
+  Alcotest.(check bool) "no decision summary" true (t.decisions = None);
+  ignore (Fmt.str "%a" Obs.Trace_analysis.pp t);
+  match Obs.Trace_analysis.to_json t with
+  | Obs.Json.Obj _ -> ()
+  | _ -> Alcotest.fail "to_json is not an object"
+
+(* With tracing disabled the live dump is empty, and that dump feeds the
+   analyzer cleanly — the path a user hits running `trace analyze` on a
+   run that never enabled --trace-out. *)
+let test_analyze_disabled_tracing () =
+  Obs.Ring.reset ();
+  Obs.Ring.set_enabled false;
+  Obs.Ring.record Obs.Ring.Solver_expand 1 1;
+  let d = Obs.Ring.dump () in
+  Alcotest.(check int) "nothing recorded while disabled" 0
+    (List.length d.domains);
+  let t = Obs.Trace_analysis.analyze ~top:5 ~buckets:4 d in
+  Alcotest.(check int) "empty report" 0 t.total_expansions
+
+(* Single-domain dump: duplicated-work accounting must stay zero (nothing
+   can be duplicated across domains) and utilization still computes. *)
+let test_analyze_single_domain () =
+  let ev tag a b ts_us = { Obs.Ring.tag; a; b; ts_us } in
+  let d0 =
+    {
+      Obs.Ring.domain = 0;
+      recorded = 4;
+      dropped = 0;
+      events =
+        [
+          ev Obs.Ring.Pool_task_start 0 2 0.0;
+          ev Obs.Ring.Solver_expand 7 1 5.0;
+          ev Obs.Ring.Solver_expand 7 1 10.0;
+          ev Obs.Ring.Pool_task_stop 0 2 20.0;
+        ];
+    }
+  in
+  let dump = { Obs.Ring.capacity = 1024; domains = [ d0 ]; runtime = [] } in
+  let t = Obs.Trace_analysis.analyze ~top:5 ~buckets:4 dump in
+  Alcotest.(check int) "both expansions counted" 2 t.total_expansions;
+  Alcotest.(check int) "one distinct key" 1 t.distinct_keys;
+  Alcotest.(check int) "re-expansion on one domain is not cross-domain dup" 0
+    t.duplicated_keys;
+  match t.domains with
+  | [ r ] -> Alcotest.(check (float 1e-9)) "busy time" 20.0 r.busy_us
+  | ds -> Alcotest.failf "expected 1 domain report, got %d" (List.length ds)
+
+(* Forward compatibility: a dump written by a newer ring with an extra
+   event tag must parse — the unknown event is skipped, not an error. *)
+let test_of_json_skips_unknown_tag () =
+  with_tracing @@ fun () ->
+  Obs.Ring.record Obs.Ring.Solver_expand 7 1;
+  Obs.Ring.set_enabled false;
+  let j = Obs.Ring.to_json (Obs.Ring.dump ()) in
+  let unknown = Obs.Json.List [ Obs.Json.Int 99; Obs.Json.Int 1; Obs.Json.Int 2; Obs.Json.Float 3.0 ] in
+  let j =
+    match j with
+    | Obs.Json.Obj kvs ->
+        Obs.Json.Obj
+          (List.map
+             (fun (k, v) ->
+               match (k, v) with
+               | "domains", Obs.Json.List [ Obs.Json.Obj dd ] ->
+                   ( k,
+                     Obs.Json.List
+                       [
+                         Obs.Json.Obj
+                           (List.map
+                              (fun (dk, dv) ->
+                                match (dk, dv) with
+                                | "events", Obs.Json.List evs ->
+                                    (dk, Obs.Json.List (evs @ [ unknown ]))
+                                | _ -> (dk, dv))
+                              dd);
+                       ] )
+               | _ -> (k, v))
+             kvs)
+    | _ -> Alcotest.fail "dump JSON is not an object"
+  in
+  match Obs.Ring.of_json j with
+  | Error e -> Alcotest.failf "unknown tag made the parse fail: %s" e
+  | Ok d -> (
+      match d.domains with
+      | [ dd ] ->
+          Alcotest.(check (list string))
+            "known event kept, unknown skipped" [ "solver_expand" ]
+            (List.map
+               (fun (e : Obs.Ring.event) -> Obs.Ring.tag_name e.tag)
+               dd.events)
+      | ds -> Alcotest.failf "expected 1 domain, got %d" (List.length ds))
+
+(* Alloc_sample events land in the per-domain counters and the top
+   allocator table, keyed by the site hash they carry. *)
+let test_analyze_alloc_samples () =
+  let ev tag a b ts_us = { Obs.Ring.tag; a; b; ts_us } in
+  let site_a = 1111 and site_b = 2222 in
+  let d0 =
+    {
+      Obs.Ring.domain = 0;
+      recorded = 3;
+      dropped = 0;
+      events =
+        [
+          ev Obs.Ring.Alloc_sample site_a 24 1.0;
+          ev Obs.Ring.Alloc_sample site_b 8 2.0;
+          ev Obs.Ring.Alloc_sample site_a 16 3.0;
+        ];
+    }
+  in
+  let d1 =
+    {
+      Obs.Ring.domain = 1;
+      recorded = 1;
+      dropped = 0;
+      events = [ ev Obs.Ring.Alloc_sample site_a 2 4.0 ];
+    }
+  in
+  let dump = { Obs.Ring.capacity = 1024; domains = [ d0; d1 ]; runtime = [] } in
+  let t = Obs.Trace_analysis.analyze ~top:5 ~buckets:4 dump in
+  (match List.find_opt (fun (r : Obs.Trace_analysis.domain_report) -> r.domain = 0) t.domains with
+  | Some r ->
+      Alcotest.(check int) "d0 alloc samples" 3 r.alloc_samples;
+      Alcotest.(check int) "d0 alloc words" 48 r.alloc_words
+  | None -> Alcotest.fail "domain 0 missing");
+  (match t.allocators with
+  | (top : Obs.Trace_analysis.alloc_site) :: rest ->
+      Alcotest.(check int) "hottest allocator by words" site_a top.site_hash;
+      Alcotest.(check int) "its words across domains" 42 top.words;
+      Alcotest.(check int) "its samples" 3 top.samples;
+      Alcotest.(check int) "seen on both domains" 2 top.alloc_domains;
+      Alcotest.(check int) "runner-up present" 1 (List.length rest)
+  | [] -> Alcotest.fail "allocator table empty");
+  let rendered = Fmt.str "%a" Obs.Trace_analysis.pp t in
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report renders the allocator table" true
+    (contains ~affix:"top allocators" rendered)
+
 let tests =
   [
     Alcotest.test_case "disabled record is a no-op" `Quick test_disabled_is_noop;
@@ -260,4 +412,13 @@ let tests =
     Alcotest.test_case "chrome round-trip, two domains" `Quick
       test_chrome_round_trip_two_domains;
     Alcotest.test_case "analyzer on synthetic dump" `Quick test_analyze_synthetic_dump;
+    Alcotest.test_case "analyzer on empty dump" `Quick test_analyze_empty_dump;
+    Alcotest.test_case "analyzer with tracing disabled" `Quick
+      test_analyze_disabled_tracing;
+    Alcotest.test_case "analyzer on single-domain dump" `Quick
+      test_analyze_single_domain;
+    Alcotest.test_case "of_json skips unknown event tags" `Quick
+      test_of_json_skips_unknown_tag;
+    Alcotest.test_case "analyzer aggregates alloc samples" `Quick
+      test_analyze_alloc_samples;
   ]
