@@ -16,7 +16,8 @@ let () =
   let usage () =
     Fmt.epr
       "usage: diff.exe [--paper-tol F] [--value-rtol F] [--time-rtol F] \
-       [--no-spans] [--min-speedup F] BASELINE.json CURRENT.json@.";
+       [--no-spans] [--min-speedup F] [--max-alloc-ratio F] BASELINE.json \
+       CURRENT.json@.";
     exit 2
   in
   let float_arg name v rest k =
@@ -46,6 +47,10 @@ let () =
     | "--min-speedup" :: v :: rest ->
         float_arg "--min-speedup" v rest (fun f rest ->
             config := { !config with min_speedup = Some f };
+            parse rest)
+    | "--max-alloc-ratio" :: v :: rest ->
+        float_arg "--max-alloc-ratio" v rest (fun f rest ->
+            config := { !config with max_alloc_ratio = Some f };
             parse rest)
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
         paths := arg :: !paths;

@@ -624,7 +624,11 @@ let e8_cost () =
         if k = 0 then Programs.Weakener.abd_config ()
         else Programs.Weakener.abd_k_config ~k
       in
-      let rt = Sim.Runtime.create config (Sim.Runtime.Gen (Rng.of_int 7)) in
+      (* counts only (exact at History level) — skip per-event entries *)
+      let rt =
+        Sim.Runtime.create ~trace_level:Sim.Trace.History config
+          (Sim.Runtime.Gen (Rng.of_int 7))
+      in
       (match
          Sim.Runtime.run rt ~max_steps:2_000_000 Adversary.Schedulers.eager_delivery
        with
@@ -667,7 +671,11 @@ let e9_round_based () =
       Programs.Round_based.config ~n ~rounds_before_fallback:fallback ~max_rounds ~k
     in
     let rng = Rng.of_int seed in
-    let t = Sim.Runtime.create config (Sim.Runtime.Gen (Rng.split rng)) in
+    (* agreed_round_of_trace reads labels only — History level suffices *)
+    let t =
+      Sim.Runtime.create ~trace_level:Sim.Trace.History config
+        (Sim.Runtime.Gen (Rng.split rng))
+    in
     match Sim.Runtime.run t ~max_steps:10_000_000 (fun _ evs -> Rng.pick rng evs) with
     | Sim.Runtime.Completed ->
         Programs.Round_based.agreed_round_of_trace (Sim.Runtime.trace t) ~n ~max_rounds
@@ -920,7 +928,10 @@ let bechamel () =
       if k = 0 then Programs.Weakener.abd_config ()
       else Programs.Weakener.abd_k_config ~k
     in
-    let rt = Sim.Runtime.create config (Sim.Runtime.Gen (Rng.of_int 3)) in
+    let rt =
+      Sim.Runtime.create ~trace_level:Sim.Trace.History config
+        (Sim.Runtime.Gen (Rng.of_int 3))
+    in
     match
       Sim.Runtime.run rt ~max_steps:2_000_000 Adversary.Schedulers.eager_delivery
     with
@@ -957,7 +968,10 @@ let bechamel () =
         max_crashes = 0;
       }
     in
-    let rt = Sim.Runtime.create config (Sim.Runtime.Gen (Rng.of_int 4)) in
+    let rt =
+      Sim.Runtime.create ~trace_level:Sim.Trace.History config
+        (Sim.Runtime.Gen (Rng.of_int 4))
+    in
     match Sim.Runtime.run rt ~max_steps:500_000 Adversary.Schedulers.eager_delivery with
     | Sim.Runtime.Completed -> ()
     | _ -> failwith "snapshot bench failed"

@@ -584,7 +584,19 @@ let bench_diff_cmd =
              solve-time ratio of at least $(docv) (hard failure below, or \
              when the PAR timings are missing).")
   in
-  let run () baseline current paper_tol value_rtol time_rtol no_spans min_speedup =
+  let max_alloc_ratio_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-alloc-ratio" ] ~docv:"F"
+          ~doc:
+            "Require every section's allocation (gc.minor_words, per \
+             simulator step where the section counts steps) to stay within \
+             $(docv) times the baseline's (hard failure past the ceiling, \
+             or when no section pair carries GC data).")
+  in
+  let run () baseline current paper_tol value_rtol time_rtol no_spans min_speedup
+      max_alloc_ratio =
     let config =
       {
         Obs.Diff.paper_tol;
@@ -592,6 +604,7 @@ let bench_diff_cmd =
         time_rtol;
         compare_spans = not no_spans;
         min_speedup;
+        max_alloc_ratio;
       }
     in
     match Obs.Diff.run_files ~config ~baseline ~current Fmt.stdout with
@@ -609,7 +622,8 @@ let bench_diff_cmd =
   Cmd.v (Cmd.info "bench-diff" ~doc)
     Term.(
       const run $ verbosity_term $ baseline_arg $ current_arg $ paper_tol_arg
-      $ value_rtol_arg $ time_rtol_arg $ no_spans_arg $ min_speedup_arg)
+      $ value_rtol_arg $ time_rtol_arg $ no_spans_arg $ min_speedup_arg
+      $ max_alloc_ratio_arg)
 
 (* ---- fuzz ----------------------------------------------------------- *)
 

@@ -33,7 +33,12 @@ type trial = { outcome : Sim.Runtime.run_result; steps : int; is_bad : bool }
 let run_trial ~max_steps ~seed ~scheduler ~bad mk_config i =
   let sched_rng = Rng.stream ~seed ~index:(2 * i) in
   let tape_rng = Rng.stream ~seed ~index:((2 * i) + 1) in
-  let t = Sim.Runtime.create (mk_config ()) (Sim.Runtime.Gen tape_rng) in
+  (* trials only read the outcome and the step count — a History-level
+     trace skips allocating the per-event entries on the hot loop *)
+  let t =
+    Sim.Runtime.create ~trace_level:Sim.Trace.History (mk_config ())
+      (Sim.Runtime.Gen tape_rng)
+  in
   let outcome = Sim.Runtime.run t ~max_steps (scheduler sched_rng) in
   let steps = Sim.Trace.count_steps (Sim.Runtime.trace t) in
   let is_bad =

@@ -300,10 +300,11 @@ module Prune_game = struct
 
   let terminal_value (l, i) = float_of_int (h2 (l + 17) i mod 101) /. 100.0
 
-  let encode (l, i) =
-    Mdp.Key.run (fun b ->
-        Mdp.Key.int b l;
-        Mdp.Key.int b i)
+  let encode_into (l, i) b =
+    Mdp.Key.int b l;
+    Mdp.Key.int b i
+
+  let encode s = Mdp.Key.run (encode_into s)
 
   let pp_move ppf (Move j) = Fmt.pf ppf "m%d" j
 end

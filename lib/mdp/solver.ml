@@ -30,7 +30,28 @@ module type GAME = sig
 
   val terminal_value : state -> float
   val encode : state -> string
+  val encode_into : state -> Key.buf -> unit
   val pp_move : Format.formatter -> move -> unit
+end
+
+(* The zero-copy counterpart of {!GAME}: one mutable working state that
+   moves mutate in place, with an undo token to restore it before the
+   next sibling. Moves are small-int ids delivered as a bitmask (so
+   enumerating them allocates nothing); chance moves expose their branch
+   count and per-branch probabilities instead of a materialized
+   distribution list. *)
+module type GAME_INPLACE = sig
+  type state
+  type undo
+
+  val moves : state -> int
+  val branches : state -> int -> int
+  val prob : state -> int -> int -> float
+  val checkpoint : state -> undo
+  val apply : state -> move:int -> branch:int -> unit
+  val restore : state -> undo -> unit
+  val terminal_value : state -> float
+  val encode_into : state -> Key.buf -> unit
 end
 
 exception Cyclic
@@ -87,42 +108,98 @@ let pp_progress ppf p =
 
 let default_progress_interval = 50_000
 
-module Make (G : GAME) = struct
-  type mark = In_progress | Value of float
+(* ---- solver instances (shared by both functors) -----------------------
 
-  (* All mutable solver state lives in an instance, so parallel solves can
-     keep per-worker counters separate and merge them afterwards. States
-     are keyed by their canonical [G.encode] string: probing hashes a flat
-     short string instead of walking a deep model state with the
-     polymorphic hash (which either stops early and collides, or is told
-     to traverse ~500 nodes per probe). *)
-  type t = {
-    memo : (string, mark) Hashtbl.t;
-    mutable hits : int;
-    mutable misses : int;
-    mutable states : int;  (* states memoized with a final Value *)
-    mutable max_depth : int;
-    mutable prune_cuts : int;  (* subtrees cut by interval pruning *)
-    mutable progress_hook : (progress -> unit) option;
-    mutable progress_interval : int;
-    mutable solve_start : float;
-    mutable solve_base_misses : int;  (* misses when the root call began *)
+   All mutable solver state lives in an instance, so parallel solves can
+   keep per-worker counters separate and merge them afterwards. States
+   are keyed by their canonical [G.encode] bytes: probing hashes a flat
+   short key instead of walking a deep model state with the polymorphic
+   hash (which either stops early and collides, or is told to traverse
+   ~500 nodes per probe). The key is encoded into the instance's
+   reusable [keybuf] and the memo is probed on the (buffer, length)
+   slice — a probe of an already-memoized state allocates nothing at
+   all. Nothing here mentions the game, so [Make] and [Make_inplace]
+   share the machinery. *)
+
+type mark = In_progress | Value of float
+
+type instance = {
+  memo : mark Par.Slice_tbl.t;
+  keybuf : Key.buf;
+  mutable hits : int;
+  mutable misses : int;
+  mutable states : int;  (* states memoized with a final Value *)
+  mutable max_depth : int;
+  mutable prune_cuts : int;  (* subtrees cut by interval pruning *)
+  mutable progress_hook : (progress -> unit) option;
+  mutable progress_interval : int;
+  mutable solve_start : float;
+  mutable solve_base_misses : int;  (* misses when the root call began *)
+}
+
+let make_instance () =
+  {
+    memo = Par.Slice_tbl.create ~size:65_536 ();
+    keybuf = Key.create ();
+    hits = 0;
+    misses = 0;
+    states = 0;
+    max_depth = 0;
+    prune_cuts = 0;
+    progress_hook = None;
+    progress_interval = default_progress_interval;
+    solve_start = Obs.Span.now_us ();
+    solve_base_misses = 0;
   }
 
-  let make_instance () =
-    {
-      memo = Hashtbl.create 65_536;
-      hits = 0;
-      misses = 0;
-      states = 0;
-      max_depth = 0;
-      prune_cuts = 0;
-      progress_hook = None;
-      progress_interval = default_progress_interval;
-      solve_start = Obs.Span.now_us ();
-      solve_base_misses = 0;
-    }
+let stats_of i =
+  { states = i.states; memo_hits = i.hits; memo_misses = i.misses;
+    max_depth = i.max_depth }
 
+let progress_of i =
+  let elapsed_s = (Obs.Span.now_us () -. i.solve_start) /. 1e6 in
+  {
+    stats = stats_of i;
+    elapsed_s;
+    states_per_sec =
+      (if elapsed_s > 0.0 then
+         float_of_int (i.misses - i.solve_base_misses) /. elapsed_s
+       else 0.0);
+  }
+
+(* Progress telemetry: long solves (minutes at k >= 3) otherwise give no
+   output until they return. The hook fires from inside the recursion,
+   every [interval] newly memoized states — so never after [value] has
+   returned — alongside an info log on the blunting.mdp source. Worker
+   recursions carry no hook, so parallel solves never fire it off the
+   calling domain. *)
+let progress_tick i =
+  if i.misses mod i.progress_interval = 0 then begin
+    let p = progress_of i in
+    Log.info (fun f -> f "progress: %a" pp_progress p);
+    match i.progress_hook with None -> () | Some hook -> hook p
+  end
+
+let reset_instance i =
+  Par.Slice_tbl.clear i.memo;
+  i.hits <- 0;
+  i.misses <- 0;
+  i.states <- 0;
+  i.max_depth <- 0;
+  i.prune_cuts <- 0;
+  (* re-arm the per-solve telemetry too: a reused instance must not
+     compute its second solve's states/sec against the first solve's
+     start time or cumulative miss count *)
+  i.solve_start <- Obs.Span.now_us ();
+  i.solve_base_misses <- 0
+
+let publish_delta (before : stats) (after : stats) =
+  Obs.Metrics.add M.memo_hits (after.memo_hits - before.memo_hits);
+  Obs.Metrics.add M.memo_misses (after.memo_misses - before.memo_misses);
+  Obs.Metrics.add M.states (after.states - before.states);
+  Obs.Metrics.max_gauge M.depth (float_of_int after.max_depth)
+
+module Make (G : GAME) = struct
   (* The module-level instance behind the historical [value]/[stats] API. *)
   let default = make_instance ()
 
@@ -130,35 +207,7 @@ module Make (G : GAME) = struct
     default.progress_interval <- max 1 interval_states;
     default.progress_hook <- hook
 
-  let stats_of i =
-    { states = i.states; memo_hits = i.hits; memo_misses = i.misses;
-      max_depth = i.max_depth }
-
   let stats () = stats_of default
-
-  let progress_of i =
-    let elapsed_s = (Obs.Span.now_us () -. i.solve_start) /. 1e6 in
-    {
-      stats = stats_of i;
-      elapsed_s;
-      states_per_sec =
-        (if elapsed_s > 0.0 then
-           float_of_int (i.misses - i.solve_base_misses) /. elapsed_s
-         else 0.0);
-    }
-
-  (* Progress telemetry: long solves (minutes at k >= 3) otherwise give no
-     output until they return. The hook fires from inside the recursion,
-     every [interval] newly memoized states — so never after [value] has
-     returned — alongside an info log on the blunting.mdp source. Worker
-     recursions carry no hook, so parallel solves never fire it off the
-     calling domain. *)
-  let progress_tick i =
-    if i.misses mod i.progress_interval = 0 then begin
-      let p = progress_of i in
-      Log.info (fun f -> f "progress: %a" pp_progress p);
-      match i.progress_hook with None -> () | Some hook -> hook p
-    end
 
   (* ---- admissible value bounds ---------------------------------------
 
@@ -277,43 +326,57 @@ module Make (G : GAME) = struct
     in
     go neg_infinity ms
 
+  (* The hot path. The state is encoded into the instance's reusable
+     buffer and the memo probed on the slice: a hit touches no allocator.
+     A miss installs [In_progress] (copying the key once, inside the
+     table) and later overwrites the SAME entry with the value — entries
+     survive table growth (growth only re-buckets them), so no second
+     lookup. The buffer is dead the moment the probe returns; children
+     clobber it freely. *)
   let rec value_at ~prune i depth s =
     if depth > i.max_depth then i.max_depth <- depth;
-    let key = G.encode s in
-    match Hashtbl.find_opt i.memo key with
-    | Some (Value v) ->
-        i.hits <- i.hits + 1;
-        (* the enabled () guard keeps the key hash off the disabled path *)
-        if Obs.Ring.enabled () then
-          Obs.Ring.record Obs.Ring.Solver_hit (Hashtbl.hash key) depth;
-        v
-    | Some In_progress -> raise Cyclic
-    | None ->
-        i.misses <- i.misses + 1;
-        if Obs.Ring.enabled () then
-          Obs.Ring.record Obs.Ring.Solver_expand (Hashtbl.hash key) depth;
-        progress_tick i;
-        Hashtbl.replace i.memo key In_progress;
-        let v =
-          match G.moves s with
-          | [] ->
-              if Obs.Ring.enabled () then
-                Obs.Ring.record Obs.Ring.Solver_terminal (Hashtbl.hash key)
-                  depth;
-              G.terminal_value s
-          | ms ->
-              fold_value ~prune
-                ~on_prune:(fun () ->
-                  i.prune_cuts <- i.prune_cuts + 1;
-                  if Obs.Ring.enabled () then
-                    Obs.Ring.record Obs.Ring.Solver_prune (Hashtbl.hash key)
-                      depth)
-                ~child:(fun d s' -> value_at ~prune i d s')
-                depth s ms
-        in
-        Hashtbl.replace i.memo key (Value v);
-        i.states <- i.states + 1;
-        v
+    let b = i.keybuf in
+    Key.reset b;
+    G.encode_into s b;
+    let e =
+      Par.Slice_tbl.probe_slice i.memo (Key.data b) ~len:(Key.length b)
+        ~default:In_progress
+    in
+    if Par.Slice_tbl.last_was_new i.memo then begin
+      i.misses <- i.misses + 1;
+      (* the enabled () guard keeps the key hash off the disabled path *)
+      if Obs.Ring.enabled () then
+        Obs.Ring.record Obs.Ring.Solver_expand e.Par.Slice_tbl.hash depth;
+      progress_tick i;
+      let v =
+        match G.moves s with
+        | [] ->
+            if Obs.Ring.enabled () then
+              Obs.Ring.record Obs.Ring.Solver_terminal e.Par.Slice_tbl.hash
+                depth;
+            G.terminal_value s
+        | ms ->
+            fold_value ~prune
+              ~on_prune:(fun () ->
+                i.prune_cuts <- i.prune_cuts + 1;
+                if Obs.Ring.enabled () then
+                  Obs.Ring.record Obs.Ring.Solver_prune e.Par.Slice_tbl.hash
+                    depth)
+              ~child:(fun d s' -> value_at ~prune i d s')
+              depth s ms
+      in
+      e.Par.Slice_tbl.value <- Value v;
+      i.states <- i.states + 1;
+      v
+    end
+    else
+      match e.Par.Slice_tbl.value with
+      | Value v ->
+          i.hits <- i.hits + 1;
+          if Obs.Ring.enabled () then
+            Obs.Ring.record Obs.Ring.Solver_hit e.Par.Slice_tbl.hash depth;
+          v
+      | In_progress -> raise Cyclic
 
   let transition_value i depth = function
     | G.Det s -> value_at ~prune:false i (depth + 1) s
@@ -339,12 +402,6 @@ module Make (G : GAME) = struct
     last_par := None;
     i.solve_start <- Obs.Span.now_us ();
     i.solve_base_misses <- i.misses
-
-  let publish_delta (before : stats) (after : stats) =
-    Obs.Metrics.add M.memo_hits (after.memo_hits - before.memo_hits);
-    Obs.Metrics.add M.memo_misses (after.memo_misses - before.memo_misses);
-    Obs.Metrics.add M.states (after.states - before.states);
-    Obs.Metrics.max_gauge M.depth (float_of_int after.max_depth)
 
   let root_call i span_name f =
     start_solve i;
@@ -398,17 +455,7 @@ module Make (G : GAME) = struct
 
   let reset () =
     last_par := None;
-    Hashtbl.reset default.memo;
-    default.hits <- 0;
-    default.misses <- 0;
-    default.states <- 0;
-    default.max_depth <- 0;
-    default.prune_cuts <- 0;
-    (* re-arm the per-solve telemetry too: a reused instance must not
-       compute its second solve's states/sec against the first solve's
-       start time or cumulative miss count *)
-    default.solve_start <- Obs.Span.now_us ();
-    default.solve_base_misses <- 0
+    reset_instance default
 
   (* ---- parallel solving ------------------------------------------------
 
@@ -530,6 +577,7 @@ module Make (G : GAME) = struct
      loops, but only sequentially, after the previous loop finished). *)
   type worker = {
     wid : int;
+    w_buf : Key.buf;  (* per-worker encode buffer: probes allocate nothing *)
     mutable w_domain : int;
     mutable w_hits : int;
     mutable w_misses : int;
@@ -547,29 +595,47 @@ module Make (G : GAME) = struct
      would wait forever. *)
   exception Abort
 
+  (* Worker hot path: encode into the worker's private buffer, probe the
+     shared table on the slice. [`Value]/[`Busy] probes allocate nothing;
+     only a fresh claim materializes the key (inside the table, which
+     hands it back — the buffer will be reused by the children before
+     [resolve] needs the key). Ring fingerprints are recomputed from the
+     slice only when tracing is on. *)
   let rec shared_value ~abort ~prune tbl w depth s =
     if depth > w.w_depth then w.w_depth <- depth;
-    let key = G.encode s in
-    match Par.Sharded_tbl.find_or_claim tbl key ~owner:w.wid with
+    let b = w.w_buf in
+    Key.reset b;
+    G.encode_into s b;
+    match
+      Par.Sharded_tbl.find_or_claim_slice tbl (Key.data b) ~len:(Key.length b)
+        ~owner:w.wid
+    with
     | `Value v ->
         w.w_hits <- w.w_hits + 1;
         if Obs.Ring.enabled () then
-          Obs.Ring.record Obs.Ring.Claim_hit (Hashtbl.hash key) depth;
+          Obs.Ring.record Obs.Ring.Claim_hit
+            (Par.Slice_tbl.hash_slice (Key.data b) (Key.length b))
+            depth;
         v
     | `Busy o when o = w.wid -> raise Cyclic
     | `Busy o ->
         w.w_claim_misses <- w.w_claim_misses + 1;
         if Obs.Ring.enabled () then Obs.Ring.record Obs.Ring.Claim_miss o depth;
+        (* the await needs the key after the buffer has been clobbered *)
+        let key = Key.contents b in
         help ~abort ~prune tbl w depth s key
-    | `Claimed ->
+    | `Claimed key ->
         w.w_misses <- w.w_misses + 1;
         if Obs.Ring.enabled () then
-          Obs.Ring.record Obs.Ring.Solver_expand (Hashtbl.hash key) depth;
+          Obs.Ring.record Obs.Ring.Solver_expand
+            (Par.Slice_tbl.hash_string key)
+            depth;
         let v =
           match G.moves s with
           | [] ->
               if Obs.Ring.enabled () then
-                Obs.Ring.record Obs.Ring.Solver_terminal (Hashtbl.hash key)
+                Obs.Ring.record Obs.Ring.Solver_terminal
+                  (Par.Slice_tbl.hash_string key)
                   depth;
               G.terminal_value s
           | ms ->
@@ -577,7 +643,8 @@ module Make (G : GAME) = struct
                 ~on_prune:(fun () ->
                   w.w_pruned <- w.w_pruned + 1;
                   if Obs.Ring.enabled () then
-                    Obs.Ring.record Obs.Ring.Solver_prune (Hashtbl.hash key)
+                    Obs.Ring.record Obs.Ring.Solver_prune
+                      (Par.Slice_tbl.hash_string key)
                       depth)
                 ~child:(fun d s' -> shared_value ~abort ~prune tbl w d s')
                 depth s ms
@@ -663,6 +730,44 @@ module Make (G : GAME) = struct
       let nleaves = Array.length leaves in
       Log.info (fun f -> f "value_par: %d frontier states on %d jobs" nleaves jobs);
       if nleaves = 0 then eval_plan [||] plan
+      else if nleaves < jobs then begin
+        (* Frontier smaller than the worker count: the game is too small
+           to occupy the pool, and spawning domains + claim traffic costs
+           more than the whole solve (the sub-1x PAR rows on tiny games).
+           Solve sequentially on the calling instance — bit-identical by
+           the same argument as the worker path — and synthesize the
+           telemetry honestly from the instance delta: one domain, one
+           miss per distinct state, nothing stolen or claimed. *)
+        Log.info (fun f ->
+            f "value_par: frontier %d < jobs %d, sequential fallback" nleaves
+              jobs);
+        let before = stats_of default in
+        let pruned_before = default.prune_cuts in
+        let v = value_at ~prune default 0 s in
+        let after = stats_of default in
+        let delta =
+          {
+            states = after.states - before.states;
+            memo_hits = after.memo_hits - before.memo_hits;
+            memo_misses = after.memo_misses - before.memo_misses;
+            max_depth = after.max_depth;
+          }
+        in
+        last_par :=
+          Some
+            {
+              domains =
+                [ { domain_id = (Domain.self () :> int); stats = delta } ];
+              distinct_keys = delta.memo_misses;
+              duplicated_keys = 0;
+              duplicated_work_pct = 0.0;
+              steals = 0;
+              claim_hits = 0;
+              claim_misses = 0;
+              pruned_subtrees = default.prune_cuts - pruned_before;
+            };
+        v
+      end
       else begin
         let tbl : float Par.Sharded_tbl.t = Par.Sharded_tbl.create () in
         let deques = Array.init jobs (fun _ -> Par.Deque.create ()) in
@@ -671,6 +776,7 @@ module Make (G : GAME) = struct
           Array.init jobs (fun wid ->
               {
                 wid;
+                w_buf = Key.create ();
                 w_domain = -1;
                 w_hits = 0;
                 w_misses = 0;
@@ -795,4 +901,205 @@ module Make (G : GAME) = struct
             };
         eval_plan values plan
       end
+end
+
+(* ---- in-place solving ---------------------------------------------------
+
+   The sequential recursion over a GAME_INPLACE: the entire DFS runs on
+   ONE working state. Exploring a child is do-move / recurse / restore —
+   the per-edge state copy of the pure solver (a fresh record tree per
+   [G.apply]) disappears, and with the slice-probing memo the whole
+   expansion loop allocates only the per-expansion move closure and the
+   memo entry of each distinct state.
+
+   Values are bit-identical to [Make] over the pure presentation of the
+   same game provided the two presentations agree move-for-move: same
+   move order (ascending ids here, so the pure [moves] list must be
+   ascending), same branch order and probabilities, and byte-identical
+   [encode_into]. The folds below mirror [fold_value] line for line —
+   Float.max from neg_infinity over moves, left-to-right
+   [partial +. (p *. v)] from 0.0 over chance branches, and the same two
+   interval cuts in the same positions — so induction over the shared
+   acyclic state DAG gives bitwise equality. *)
+module Make_inplace (G : GAME_INPLACE) = struct
+  let default = make_instance ()
+
+  let set_progress ?(interval_states = default_progress_interval) hook =
+    default.progress_interval <- max 1 interval_states;
+    default.progress_hook <- hook
+
+  let stats () = stats_of default
+
+  let bound_lo = ref 0.0
+  let bound_hi = ref 1.0
+  let prune_audit = ref false
+
+  let set_bounds ~lo ~hi =
+    if not (lo <= hi) then
+      invalid_arg "Mdp.Solver.set_bounds: need lo <= hi";
+    bound_lo := lo;
+    bound_hi := hi
+
+  let bounds () = (!bound_lo, !bound_hi)
+  let set_prune_audit b = prune_audit := b
+
+  (* index of the lowest set bit: moves fold in ascending id order *)
+  let rec lowest m i = if m land 1 = 1 then i else lowest (m lsr 1) (i + 1)
+
+  let rec value_at ~prune i depth s =
+    if depth > i.max_depth then i.max_depth <- depth;
+    let b = i.keybuf in
+    Key.reset b;
+    G.encode_into s b;
+    let e =
+      Par.Slice_tbl.probe_slice i.memo (Key.data b) ~len:(Key.length b)
+        ~default:In_progress
+    in
+    if Par.Slice_tbl.last_was_new i.memo then begin
+      i.misses <- i.misses + 1;
+      if Obs.Ring.enabled () then
+        Obs.Ring.record Obs.Ring.Solver_expand e.Par.Slice_tbl.hash depth;
+      progress_tick i;
+      let mask = G.moves s in
+      let v =
+        if mask = 0 then begin
+          if Obs.Ring.enabled () then
+            Obs.Ring.record Obs.Ring.Solver_terminal e.Par.Slice_tbl.hash
+              depth;
+          G.terminal_value s
+        end
+        else fold_moves ~prune i depth s mask e.Par.Slice_tbl.hash
+      in
+      e.Par.Slice_tbl.value <- Value v;
+      i.states <- i.states + 1;
+      v
+    end
+    else
+      match e.Par.Slice_tbl.value with
+      | Value v ->
+          i.hits <- i.hits + 1;
+          if Obs.Ring.enabled () then
+            Obs.Ring.record Obs.Ring.Solver_hit e.Par.Slice_tbl.hash depth;
+          v
+      | In_progress -> raise Cyclic
+
+  (* do-move / recurse / restore: the only state "copy" is the journal
+     entries the move itself writes *)
+  and branch_value ~prune i depth s m j =
+    let u = G.checkpoint s in
+    G.apply s ~move:m ~branch:j;
+    let v = value_at ~prune i (depth + 1) s in
+    G.restore s u;
+    v
+
+  (* mirror of [fold_value]'s [chance]: same fold direction, same cut,
+     same audit re-evaluation *)
+  and chance_value ~prune i depth s m n acc h =
+    let hi = !bound_hi in
+    let audit = !prune_audit in
+    let rec full partial j =
+      if j >= n then partial
+      else
+        let p = G.prob s m j in
+        full (partial +. (p *. branch_value ~prune i depth s m j)) (j + 1)
+    in
+    let upper partial j =
+      let u = ref partial in
+      for l = j to n - 1 do
+        u := !u +. (G.prob s m l *. hi)
+      done;
+      !u
+    in
+    let rec go partial j =
+      if j >= n then partial
+      else if prune && upper partial j <= acc then begin
+        i.prune_cuts <- i.prune_cuts + 1;
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Solver_prune h depth;
+        if audit then begin
+          let v = full partial j in
+          if Float.max acc v <> acc then
+            raise
+              (Prune_unsound
+                 (Fmt.str
+                    "chance cut at depth %d: bound %.17g <= acc %.17g but \
+                     full value %.17g beats it"
+                    depth (upper partial j) acc v));
+          v
+        end
+        else partial
+      end
+      else
+        let p = G.prob s m j in
+        go (partial +. (p *. branch_value ~prune i depth s m j)) (j + 1)
+    in
+    go 0.0 0
+
+  and fold_moves ~prune i depth s mask0 h =
+    let hi = !bound_hi in
+    let audit = !prune_audit in
+    let move_value acc m =
+      match G.branches s m with
+      | 0 -> branch_value ~prune i depth s m 0
+      | n -> chance_value ~prune i depth s m n acc h
+    in
+    let rec full acc mask =
+      if mask = 0 then acc
+      else
+        let m = lowest mask 0 in
+        let v = move_value acc m in
+        full (Float.max acc v) (mask land (mask - 1))
+    in
+    let rec go acc mask =
+      if mask = 0 then acc
+      else if prune && acc >= hi then begin
+        i.prune_cuts <- i.prune_cuts + 1;
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Solver_prune h depth;
+        if audit then begin
+          let v = full acc mask in
+          if v <> acc then
+            raise
+              (Prune_unsound
+                 (Fmt.str
+                    "max cut at depth %d: acc %.17g >= hi %.17g but full \
+                     fold reaches %.17g"
+                    depth acc hi v));
+          v
+        end
+        else acc
+      end
+      else
+        let m = lowest mask 0 in
+        let v = move_value acc m in
+        go (Float.max acc v) (mask land (mask - 1))
+    in
+    go neg_infinity mask0
+
+  let value ?(prune = false) s =
+    default.solve_start <- Obs.Span.now_us ();
+    default.solve_base_misses <- default.misses;
+    let before = stats_of default in
+    let pruned_before = default.prune_cuts in
+    let prev_phase = Obs.Memprof.phase () in
+    Obs.Memprof.set_phase (Some Obs.Memprof.Expand);
+    let finish () =
+      Obs.Memprof.set_phase prev_phase;
+      publish_delta before (stats_of default);
+      Obs.Metrics.add M.pruned (default.prune_cuts - pruned_before)
+    in
+    match
+      Obs.Span.time ~observe:M.solve_seconds "mdp.value" (fun () ->
+          value_at ~prune default 0 s)
+    with
+    | v, _ ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+
+  let explored () = default.states
+  let pruned_subtrees () = default.prune_cuts
+  let reset () = reset_instance default
 end

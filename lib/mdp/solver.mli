@@ -37,7 +37,66 @@ module type GAME = sig
       injectivity holds by construction. Must be thread-safe (pure). *)
   val encode : state -> string
 
+  (** [encode_into s b] appends exactly the bytes of [encode s] to [b]
+      (callers [Key.reset] first). The solver's hot path probes the memo
+      table with the buffer slice directly, so a probe of an
+      already-memoized state allocates nothing; [encode] stays as the
+      cold-path/compatibility form and the two must agree byte-for-byte
+      ([encode s = Key.run (encode_into s)]). *)
+  val encode_into : state -> Key.buf -> unit
+
   val pp_move : Format.formatter -> move -> unit
+end
+
+(** The zero-copy counterpart of {!GAME}, for {!Make_inplace}: the whole
+    DFS runs on one mutable working state, and exploring a child is
+    do-move / recurse / restore instead of allocating a successor per
+    edge. A game exposes its pure and in-place presentations side by
+    side (e.g. {!Model.Weakener_va} / [Model.Weakener_va_packed]); the
+    solvers produce bit-identical values when the presentations agree
+    move-for-move (see below). *)
+module type GAME_INPLACE = sig
+  (** The single mutable working state. The solver never copies it. *)
+  type state
+
+  (** A restoration token from {!checkpoint} — typically a watermark into
+      an undo journal of (cell, old value) pairs recorded by [apply]. *)
+  type undo
+
+  (** [moves s] is the bitmask of enabled move ids (bit [m] set = move
+      [m] enabled, so at most [Sys.int_size - 1] distinct ids); [0]
+      marks terminal states. The solver folds moves in ascending id
+      order — the pure presentation's [moves] list must be ascending
+      under the same numbering for bit-identical values. *)
+  val moves : state -> int
+
+  (** [branches s m] is [0] if move [m] is deterministic, else the
+      number [n >= 1] of chance branches. Branch order must match the
+      pure presentation's distribution order. *)
+  val branches : state -> int -> int
+
+  (** [prob s m j] is the probability of branch [j] of chance move [m],
+      evaluated on the unmutated parent state. Must equal the pure
+      presentation's probability bitwise (same float expression). *)
+  val prob : state -> int -> int -> float
+
+  val checkpoint : state -> undo
+
+  (** [apply s ~move ~branch] mutates [s] to the successor (deterministic
+      moves take [~branch:0]), recording enough in the journal for
+      {!restore} to rebuild the parent exactly. *)
+  val apply : state -> move:int -> branch:int -> unit
+
+  (** [restore s u] rewinds every mutation made since [checkpoint]
+      returned [u]. Restores must nest LIFO, as the DFS unwinds. *)
+  val restore : state -> undo -> unit
+
+  val terminal_value : state -> float
+
+  (** Same contract as {!GAME.encode_into}: canonical, injective, and
+      byte-identical to the pure presentation's encoding of the same
+      abstract state — the two solvers then memoize identical key sets. *)
+  val encode_into : state -> Key.buf -> unit
 end
 
 exception Cyclic
@@ -224,5 +283,34 @@ module Make (G : GAME) : sig
       per-solve telemetry baselines (solve start time and the per-solve
       miss base), so a reused instance reports sane [elapsed_s] and
       [states_per_sec] on its next solve. *)
+  val reset : unit -> unit
+end
+
+(** The in-place sequential solver: same memoized expectimax as
+    {!Make.value} — same memo keys, same stats accounting, same
+    [mdp.value] span and [mdp.*] metrics, same progress hooks, same
+    interval-pruning cuts and audit mode — but the recursion explores
+    children by mutate / recurse / undo on the single working state, so
+    an expansion allocates no successor states at all. Values, explored
+    counts and hit/miss sequences are bit-identical to [Make] over the
+    pure presentation of the same game (see {!GAME_INPLACE} for the
+    agreement obligations). There is no parallel entry point: workers
+    would need a working state per domain; use {!Make.value_par} for
+    that. *)
+module Make_inplace (G : GAME_INPLACE) : sig
+  (** [value ?prune s] — see {!Make.value}. [s] is mutated during the
+      solve and restored (journal-exactly) before returning. *)
+  val value : ?prune:bool -> G.state -> float
+
+  val explored : unit -> int
+  val stats : unit -> stats
+  val set_bounds : lo:float -> hi:float -> unit
+  val bounds : unit -> float * float
+  val set_prune_audit : bool -> unit
+  val pruned_subtrees : unit -> int
+
+  val set_progress :
+    ?interval_states:int -> (progress -> unit) option -> unit
+
   val reset : unit -> unit
 end

@@ -156,37 +156,58 @@ module Game = struct
 
   (* Canonical key: every field once, in declaration order; variants carry
      a tag byte. Injective by Mdp.Key's construction. *)
-  let encode (s : state) =
-    Mdp.Key.run (fun b ->
-        let int = Mdp.Key.int b in
-        let view (v0, v1) = int v0; int v1 in
-        let cell (c : cell) = int c.v; int c.seq; view c.view in
-        let cells = Mdp.Key.list b (fun _ -> cell) in
-        let scanning (sc : scanning) =
-          Mdp.Key.option b (fun _ -> cells) sc.body.prev;
-          cells sc.body.cur;
-          Mdp.Key.list b (fun _ -> int) sc.body.moved;
-          int sc.idx;
-          Mdp.Key.list b (fun _ -> view) sc.results
-        in
-        let p0 = function
-          | U_atomic remaining -> int 0; int remaining
-          | U_scan { upd; sc } -> int 1; int upd; scanning sc
-          | U_write { upd; view = v } -> int 2; int upd; view v
-          | P0_done -> int 3
-        in
-        let p2 = function
-          | Atomic_scan -> int 0
-          | Scanning sc -> int 1; scanning sc
-          | Read_c -> int 2
-          | P2_done -> int 3
-        in
-        int s.k;
-        cells s.m;
-        p0 s.p0;
-        int s.p1pc;
-        p2 s.p2;
-        int s.u1; int s.coin; int s.creg; int s.cread)
+  let enc_view b (v0, v1) =
+    Mdp.Key.int b v0;
+    Mdp.Key.int b v1
+
+  let enc_cell b (c : cell) =
+    Mdp.Key.int b c.v;
+    Mdp.Key.int b c.seq;
+    enc_view b c.view
+
+  let enc_cells b cs = Mdp.Key.list b enc_cell cs
+
+  let enc_scanning b (sc : scanning) =
+    Mdp.Key.option b enc_cells sc.body.prev;
+    enc_cells b sc.body.cur;
+    Mdp.Key.list b Mdp.Key.int sc.body.moved;
+    Mdp.Key.int b sc.idx;
+    Mdp.Key.list b enc_view sc.results
+
+  let enc_p0 b = function
+    | U_atomic remaining ->
+        Mdp.Key.int b 0;
+        Mdp.Key.int b remaining
+    | U_scan { upd; sc } ->
+        Mdp.Key.int b 1;
+        Mdp.Key.int b upd;
+        enc_scanning b sc
+    | U_write { upd; view = v } ->
+        Mdp.Key.int b 2;
+        Mdp.Key.int b upd;
+        enc_view b v
+    | P0_done -> Mdp.Key.int b 3
+
+  let enc_p2 b = function
+    | Atomic_scan -> Mdp.Key.int b 0
+    | Scanning sc ->
+        Mdp.Key.int b 1;
+        enc_scanning b sc
+    | Read_c -> Mdp.Key.int b 2
+    | P2_done -> Mdp.Key.int b 3
+
+  let encode_into (s : state) b =
+    Mdp.Key.int b s.k;
+    enc_cells b s.m;
+    enc_p0 b s.p0;
+    Mdp.Key.int b s.p1pc;
+    enc_p2 b s.p2;
+    Mdp.Key.int b s.u1;
+    Mdp.Key.int b s.coin;
+    Mdp.Key.int b s.creg;
+    Mdp.Key.int b s.cread
+
+  let encode (s : state) = Mdp.Key.run (encode_into s)
 
   let pp_move ppf (Step p) = Fmt.pf ppf "step(p%d)" p
 end

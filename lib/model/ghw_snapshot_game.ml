@@ -110,29 +110,36 @@ module Game = struct
 
   (* Canonical key: every field once, in declaration order; variants carry
      a tag byte. Injective by Mdp.Key's construction. *)
-  let encode (s : state) =
-    Mdp.Key.run (fun b ->
-        let int = Mdp.Key.int b in
-        let cell (v, seq) = int v; int seq in
-        let cells = Mdp.Key.list b (fun _ -> cell) in
-        let p2 = function
-          | Atomic_scan -> int 0
-          | Scanning sc ->
-              int 1;
-              Mdp.Key.option b (fun _ -> cells) sc.body.prev;
-              cells sc.body.cur;
-              int sc.idx;
-              Mdp.Key.list b (fun _ -> int) sc.results
-          | Read_c -> int 2
-          | P2_done -> int 3
-        in
-        int s.k;
-        Mdp.Key.bool b s.afek;
-        cells s.m;
-        Mdp.Key.bool b s.p0_done;
-        int s.p1pc;
-        p2 s.p2;
-        int s.u1; int s.coin; int s.creg; int s.cread)
+  let enc_cell b (v, seq) =
+    Mdp.Key.int b v;
+    Mdp.Key.int b seq
+
+  let enc_cells b cs = Mdp.Key.list b enc_cell cs
+
+  let enc_p2 b = function
+    | Atomic_scan -> Mdp.Key.int b 0
+    | Scanning sc ->
+        Mdp.Key.int b 1;
+        Mdp.Key.option b enc_cells sc.body.prev;
+        enc_cells b sc.body.cur;
+        Mdp.Key.int b sc.idx;
+        Mdp.Key.list b Mdp.Key.int sc.results
+    | Read_c -> Mdp.Key.int b 2
+    | P2_done -> Mdp.Key.int b 3
+
+  let encode_into (s : state) b =
+    Mdp.Key.int b s.k;
+    Mdp.Key.bool b s.afek;
+    enc_cells b s.m;
+    Mdp.Key.bool b s.p0_done;
+    Mdp.Key.int b s.p1pc;
+    enc_p2 b s.p2;
+    Mdp.Key.int b s.u1;
+    Mdp.Key.int b s.coin;
+    Mdp.Key.int b s.creg;
+    Mdp.Key.int b s.cread
+
+  let encode (s : state) = Mdp.Key.run (encode_into s)
 
   let pp_move ppf (Step p) = Fmt.pf ppf "step(p%d)" p
 end

@@ -74,7 +74,23 @@ module Game = struct
 
   type transition = Det of state | Chance of (float * state) list
 
-  let ts_lt (a : ts) (b : ts) = compare a b < 0
+  (* Monomorphic comparisons. These agree with polymorphic [compare] on
+     every pair (ints compare numerically, constant constructors by
+     declaration order, tuples/records lexicographically field by field)
+     — so every sort below produces the order [List.sort compare] did,
+     and the canonical encodings are unchanged — but they compile to int
+     compares instead of calls into the generic comparison runtime,
+     which dominated the solver's expansion profile. *)
+  let[@inline] cmp_int (a : int) (b : int) =
+    if a < b then -1 else if a > b then 1 else 0
+
+  let ts_lt ((a1, a2) : ts) ((b1, b2) : ts) = a1 < b1 || (a1 = b1 && a2 < b2)
+
+  let cmp_vts ((v1, (t1, p1)) : vts) ((v2, (t2, p2)) : vts) =
+    if v1 <> v2 then cmp_int v1 v2
+    else if t1 <> t2 then cmp_int t1 t2
+    else cmp_int p1 p2
+
   let bot_vts : vts = (-1, (-1, -1))
   let quorum s = (s.ns / 2) + 1
   let server_indices s = List.init s.ns Fun.id
@@ -97,6 +113,27 @@ module Game = struct
         o = opseq && acks < quorum s
     | _ -> false
 
+  (* Field-by-field in declaration order, first difference wins — exactly
+     polymorphic [compare] on [upd_msg]. *)
+  let cmp_upd (a : upd_msg) (b : upd_msg) =
+    let c =
+      match (a.obj, b.obj) with
+      | RO, RO | CO, CO -> 0
+      | RO, CO -> -1
+      | CO, RO -> 1
+    in
+    if c <> 0 then c
+    else
+      let c = cmp_vts a.payload b.payload in
+      if c <> 0 then c
+      else
+        let c = cmp_int a.dest b.dest in
+        if c <> 0 then c
+        else
+          let ap, as_ = a.origin and bp, bs = b.origin in
+          let c = cmp_int ap bp in
+          if c <> 0 then c else cmp_int as_ bs
+
   let normalize s =
     let upd_out =
       List.filter
@@ -104,7 +141,7 @@ module Game = struct
           let server_ts = snd (nth (servers_of s m.obj) m.dest) in
           ts_lt server_ts (snd m.payload) || origin_waiting s m.origin)
         s.upd_out
-      |> List.sort compare
+      |> List.sort cmp_upd
     in
     { s with upd_out }
 
@@ -184,7 +221,7 @@ module Game = struct
     let ps = Tri.get s.procs p in
     match ps.op with
     | Some ({ phase = Query { idx; results; cur }; _ } as o) ->
-        let results = List.sort compare (cur.best :: results) in
+        let results = List.sort cmp_vts (cur.best :: results) in
         let phase =
           if idx + 1 < s.k then
             Query { idx = idx + 1; results; cur = fresh_iter s }
@@ -318,52 +355,73 @@ module Game = struct
      a tag byte. Injective by Mdp.Key's construction. The solver hashes
      and compares this flat ~100-byte string on each memo probe instead of
      traversing the whole nested state. *)
-  let encode (s : state) =
-    Mdp.Key.run (fun b ->
-        let int = Mdp.Key.int b in
-        let obj = function RO -> int 0 | CO -> int 1 in
-        let vts (v, (t, p)) = int v; int t; int p in
-        let iter (it : iter_st) =
-          Mdp.Key.list b (fun _ -> Mdp.Key.bool b) it.queried;
-          int it.got;
-          vts it.best
-        in
-        let phase = function
-          | Query { idx; results; cur } ->
-              int 0; int idx;
-              Mdp.Key.list b (fun _ -> vts) results;
-              iter cur
-          | Choose { results } ->
-              int 1;
-              Mdp.Key.list b (fun _ -> vts) results
-          | Waiting { payload; acks } -> int 2; vts payload; int acks
-        in
-        let op (o : op_st) =
-          obj o.obj;
-          (match o.kind with KRead -> int 0 | KWrite v -> int 1; int v);
-          int o.opseq;
-          phase o.phase
-        in
-        let upd (m : upd_msg) =
-          obj m.obj;
-          vts m.payload;
-          int m.dest;
-          let p, seq = m.origin in
-          int p; int seq
-        in
-        let pstate (p : pstate) =
-          int p.pc;
-          Mdp.Key.option b (fun _ -> op) p.op;
-          Mdp.Key.list b (fun _ -> int) p.reads
-        in
-        int s.k; int s.ns;
-        Mdp.Key.bool b s.atomic_c;
-        Mdp.Key.list b (fun _ -> vts) s.servers_r;
-        Mdp.Key.list b (fun _ -> vts) s.servers_c;
-        List.iter pstate (Tri.to_list s.procs);
-        Mdp.Key.list b (fun _ -> upd) s.upd_out;
-        int s.coin; int s.creg;
-        Mdp.Key.option b Mdp.Key.int s.cread)
+  (* The helpers take the buffer as an argument (instead of closing over
+     it) so [encode_into] allocates no closures: on the solver's hot path
+     it runs once per memo probe. *)
+  let enc_obj b = function RO -> Mdp.Key.int b 0 | CO -> Mdp.Key.int b 1
+
+  let enc_vts b (v, (t, p)) =
+    Mdp.Key.int b v;
+    Mdp.Key.int b t;
+    Mdp.Key.int b p
+
+  let enc_iter b (it : iter_st) =
+    Mdp.Key.list b Mdp.Key.bool it.queried;
+    Mdp.Key.int b it.got;
+    enc_vts b it.best
+
+  let enc_phase b = function
+    | Query { idx; results; cur } ->
+        Mdp.Key.int b 0;
+        Mdp.Key.int b idx;
+        Mdp.Key.list b enc_vts results;
+        enc_iter b cur
+    | Choose { results } ->
+        Mdp.Key.int b 1;
+        Mdp.Key.list b enc_vts results
+    | Waiting { payload; acks } ->
+        Mdp.Key.int b 2;
+        enc_vts b payload;
+        Mdp.Key.int b acks
+
+  let enc_op b (o : op_st) =
+    enc_obj b o.obj;
+    (match o.kind with
+    | KRead -> Mdp.Key.int b 0
+    | KWrite v ->
+        Mdp.Key.int b 1;
+        Mdp.Key.int b v);
+    Mdp.Key.int b o.opseq;
+    enc_phase b o.phase
+
+  let enc_upd b (m : upd_msg) =
+    enc_obj b m.obj;
+    enc_vts b m.payload;
+    Mdp.Key.int b m.dest;
+    let p, seq = m.origin in
+    Mdp.Key.int b p;
+    Mdp.Key.int b seq
+
+  let enc_pstate b (p : pstate) =
+    Mdp.Key.int b p.pc;
+    Mdp.Key.option b enc_op p.op;
+    Mdp.Key.list b Mdp.Key.int p.reads
+
+  let encode_into (s : state) b =
+    Mdp.Key.int b s.k;
+    Mdp.Key.int b s.ns;
+    Mdp.Key.bool b s.atomic_c;
+    Mdp.Key.list b enc_vts s.servers_r;
+    Mdp.Key.list b enc_vts s.servers_c;
+    enc_pstate b (Tri.get s.procs 0);
+    enc_pstate b (Tri.get s.procs 1);
+    enc_pstate b (Tri.get s.procs 2);
+    Mdp.Key.list b enc_upd s.upd_out;
+    Mdp.Key.int b s.coin;
+    Mdp.Key.int b s.creg;
+    Mdp.Key.option b Mdp.Key.int s.cread
+
+  let encode (s : state) = Mdp.Key.run (encode_into s)
 
   let pp_move ppf = function
     | Client p -> Fmt.pf ppf "client(p%d)" p

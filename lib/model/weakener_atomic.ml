@@ -51,13 +51,18 @@ module Game = struct
         if u1 = c && u2 = 1 - c then 1.0 else 0.0
     | _ -> 0.0
 
-  let encode (s : state) =
-    Mdp.Key.run (fun b ->
-        let int = Mdp.Key.int b and opt = Mdp.Key.option b Mdp.Key.int in
-        int s.r; int s.c;
-        int s.pc0; int s.pc1; int s.pc2;
-        int s.coin;
-        opt s.u1; opt s.u2; opt s.cread)
+  let encode_into (s : state) b =
+    Mdp.Key.int b s.r;
+    Mdp.Key.int b s.c;
+    Mdp.Key.int b s.pc0;
+    Mdp.Key.int b s.pc1;
+    Mdp.Key.int b s.pc2;
+    Mdp.Key.int b s.coin;
+    Mdp.Key.option b Mdp.Key.int s.u1;
+    Mdp.Key.option b Mdp.Key.int s.u2;
+    Mdp.Key.option b Mdp.Key.int s.cread
+
+  let encode (s : state) = Mdp.Key.run (encode_into s)
 
   let pp_move ppf (Step p) = Fmt.pf ppf "step(p%d)" p
 end

@@ -30,7 +30,18 @@ module Game = struct
 
   type transition = Det of state | Chance of (float * state) list
 
-  let ts_lt (a : ts) (b : ts) = compare a b < 0
+  (* Monomorphic: agrees with polymorphic [compare] on every pair, so the
+     sorted results lists (and hence the canonical encodings) are
+     unchanged, without calls into the generic comparison runtime. *)
+  let ts_lt ((a1, a2) : ts) ((b1, b2) : ts) = a1 < b1 || (a1 = b1 && a2 < b2)
+
+  let cmp_vts ((v1, (t1, p1)) : vts) ((v2, (t2, p2)) : vts) =
+    if v1 <> v2 then if v1 < v2 then -1 else 1
+    else if t1 <> t2 then if t1 < t2 then -1 else 1
+    else if p1 < p2 then -1
+    else if p1 > p2 then 1
+    else 0
+
   let bot_vts : vts = (-1, (0, 0))
   let fresh_coll = { pos = 0; best = bot_vts }
 
@@ -89,7 +100,7 @@ module Game = struct
             (set_op s p
                (Some { o with phase = Collect { idx; results; cur = { pos = cur.pos + 1; best } } }))
         else begin
-          let results = List.sort compare (best :: results) in
+          let results = List.sort cmp_vts (best :: results) in
           let phase =
             if idx + 1 < s.k then Collect { idx = idx + 1; results; cur = fresh_coll }
             else Choose { results }
@@ -137,34 +148,53 @@ module Game = struct
 
   (* Canonical key: every field once, in declaration order; variants carry
      a tag byte. Injective by Mdp.Key's construction. *)
-  let encode (s : state) =
-    Mdp.Key.run (fun b ->
-        let int = Mdp.Key.int b in
-        let vts (v, (t, p)) = int v; int t; int p in
-        let phase = function
-          | Collect { idx; results; cur } ->
-              int 0; int idx;
-              Mdp.Key.list b (fun _ -> vts) results;
-              int cur.pos; vts cur.best
-          | Choose { results } ->
-              int 1;
-              Mdp.Key.list b (fun _ -> vts) results
-          | Write_step { payload } -> int 2; vts payload
-        in
-        let pstate (p : pstate) =
-          int p.pc;
-          Mdp.Key.option b
-            (fun _ (o : op_st) ->
-              (match o.kind with KRead -> int 0 | KWrite v -> int 1; int v);
-              phase o.phase)
-            p.op;
-          Mdp.Key.list b (fun _ -> int) p.reads
-        in
-        int s.k;
-        List.iter vts (Tri.to_list s.vals);
-        List.iter pstate (Tri.to_list s.procs);
-        int s.coin; int s.creg;
-        Mdp.Key.option b Mdp.Key.int s.cread)
+  (* Buffer passed as an argument (not captured) so the hot-path encoder
+     allocates no closures. *)
+  let enc_vts b (v, (t, p)) =
+    Mdp.Key.int b v;
+    Mdp.Key.int b t;
+    Mdp.Key.int b p
+
+  let enc_phase b = function
+    | Collect { idx; results; cur } ->
+        Mdp.Key.int b 0;
+        Mdp.Key.int b idx;
+        Mdp.Key.list b enc_vts results;
+        Mdp.Key.int b cur.pos;
+        enc_vts b cur.best
+    | Choose { results } ->
+        Mdp.Key.int b 1;
+        Mdp.Key.list b enc_vts results
+    | Write_step { payload } ->
+        Mdp.Key.int b 2;
+        enc_vts b payload
+
+  let enc_op b (o : op_st) =
+    (match o.kind with
+    | KRead -> Mdp.Key.int b 0
+    | KWrite v ->
+        Mdp.Key.int b 1;
+        Mdp.Key.int b v);
+    enc_phase b o.phase
+
+  let enc_pstate b (p : pstate) =
+    Mdp.Key.int b p.pc;
+    Mdp.Key.option b enc_op p.op;
+    Mdp.Key.list b Mdp.Key.int p.reads
+
+  let encode_into (s : state) b =
+    Mdp.Key.int b s.k;
+    enc_vts b (Tri.get s.vals 0);
+    enc_vts b (Tri.get s.vals 1);
+    enc_vts b (Tri.get s.vals 2);
+    enc_pstate b (Tri.get s.procs 0);
+    enc_pstate b (Tri.get s.procs 1);
+    enc_pstate b (Tri.get s.procs 2);
+    Mdp.Key.int b s.coin;
+    Mdp.Key.int b s.creg;
+    Mdp.Key.option b Mdp.Key.int s.cread
+
+  let encode (s : state) = Mdp.Key.run (encode_into s)
 
   let pp_move ppf (Step p) = Fmt.pf ppf "step(p%d)" p
 end
@@ -182,8 +212,36 @@ let init ~k : Game.state =
     cread = None;
   }
 
-let bad_probability ?pool ?(jobs = 1) ~k () = S.value_par ?pool ~jobs (init ~k)
-let explored_states () = S.explored ()
-let reset () = S.reset ()
-let solver_stats () = S.stats ()
-let set_progress = S.set_progress
+(* Sequential solves run on the in-place presentation
+   ({!Weakener_va_packed}) — bit-identical values and stats, no per-edge
+   successor allocation. The pure game stays the engine for parallel
+   solves (workers would each need a private working state) and the
+   specification the packed one is tested against. The stats accessors
+   follow whichever engine solved last. *)
+let last_inplace = ref false
+
+let bad_probability ?pool ?(jobs = 1) ~k () =
+  if jobs <= 1 then begin
+    last_inplace := true;
+    Weakener_va_packed.bad_probability ~k ()
+  end
+  else begin
+    last_inplace := false;
+    S.value_par ?pool ~jobs (init ~k)
+  end
+
+let explored_states () =
+  if !last_inplace then Weakener_va_packed.explored_states ()
+  else S.explored ()
+
+let reset () =
+  last_inplace := false;
+  S.reset ();
+  Weakener_va_packed.reset ()
+
+let solver_stats () =
+  if !last_inplace then Weakener_va_packed.solver_stats () else S.stats ()
+
+let set_progress ?interval_states hook =
+  S.set_progress ?interval_states hook;
+  Weakener_va_packed.set_progress ?interval_states hook

@@ -26,7 +26,10 @@ val init : k:int -> Game.state
     probability that [p2] loops forever with [VA^k] registers. [jobs]
     (default 1) solves the root frontier on that many domains via
     {!Mdp.Solver.Make.value_par}; the value is bit-identical at every job
-    count. *)
+    count. Sequential solves ([jobs <= 1]) run on the in-place packed
+    presentation ({!Weakener_va_packed} via
+    {!Mdp.Solver.Make_inplace}) — same value, same stats, no per-edge
+    successor allocation. *)
 val bad_probability : ?pool:Par.Pool.t -> ?jobs:int -> k:int -> unit -> float
 
 val explored_states : unit -> int

@@ -16,6 +16,7 @@ type config = {
   time_rtol : float;
   compare_spans : bool;
   min_speedup : float option;
+  max_alloc_ratio : float option;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     time_rtol = 0.5;
     compare_spans = true;
     min_speedup = None;
+    max_alloc_ratio = None;
   }
 
 type report = {
@@ -321,6 +323,93 @@ let speedup_findings cfg csec =
                 "min-speedup check requested but PAR metrics lack \
                  solve_seq_seconds/solve_par_seconds"))
 
+(* The --max-alloc-ratio gate compares allocation pressure section by
+   section against the BASELINE: minor words normalized per simulator
+   step when the section counted steps (so trial-count changes don't
+   masquerade as allocation changes — the same normalization the
+   trajectory's derived gc.minor_words_per_step series uses), raw minor
+   words otherwise. Allocation counts are deterministic per workload on
+   a given compiler, unlike wall time, so a hard gate is sound here.
+   Like --min-speedup, the check fails loudly when it finds nothing to
+   compare: a gated CI leg that silently skipped would defeat its
+   purpose. *)
+let alloc_findings cfg bsec csec =
+  match cfg.max_alloc_ratio with
+  | None -> []
+  | Some ceiling ->
+      let words_per_unit s =
+        let metrics = metrics_of s in
+        match List.assoc_opt "gc.minor_words" metrics with
+        | Some words when Float.is_finite words -> (
+            match List.assoc_opt "counters.sim.steps" metrics with
+            | Some steps when steps > 0.0 -> Some (words /. steps, "minor words/step")
+            | _ -> Some (words, "minor words"))
+        | _ -> None
+      in
+      let compared = ref 0 in
+      let findings =
+        List.filter_map
+          (fun (id, bs) ->
+            match Option.bind (List.assoc_opt id csec) words_per_unit with
+            | None -> None
+            | Some (to_, unit_) -> (
+                match words_per_unit bs with
+                | None -> None
+                | Some (from, _) when from > 0.0 ->
+                    incr compared;
+                    let ratio = to_ /. from in
+                    if ratio > ceiling then
+                      Some
+                        {
+                          severity = Fail;
+                          section = Some id;
+                          subject = "alloc_ratio";
+                          detail =
+                            Fmt.str
+                              "%s %a -> %a: %.2fx baseline > allowed %.2fx"
+                              unit_ pp_num from pp_num to_ ratio ceiling;
+                        }
+                    else
+                      Some
+                        {
+                          severity = Info;
+                          section = Some id;
+                          subject = "alloc_ratio";
+                          detail =
+                            Fmt.str "%s %a -> %a (%.2fx <= %.2fx)" unit_
+                              pp_num from pp_num to_ ratio ceiling;
+                        }
+                | Some _ ->
+                    (* zero-allocation baseline: any current allocation is
+                       a regression past every finite ratio *)
+                    incr compared;
+                    if to_ > 0.0 then
+                      Some
+                        {
+                          severity = Fail;
+                          section = Some id;
+                          subject = "alloc_ratio";
+                          detail =
+                            Fmt.str
+                              "baseline allocated nothing, current %s %a"
+                              unit_ pp_num to_;
+                        }
+                    else None))
+          bsec
+      in
+      if !compared = 0 then
+        [
+          {
+            severity = Fail;
+            section = None;
+            subject = "alloc_ratio";
+            detail =
+              "max-alloc-ratio check requested but no section carries \
+               gc.minor_words in both documents";
+          };
+        ]
+      else findings
+
 (* Per-row speedup surfacing, always on: every "*_speedup_timing" metric
    in the CURRENT document's PAR section lands in the human summary —
    Info at >= 1.0x, a soft Warn below it (a parallel row silently slower
@@ -393,6 +482,7 @@ let diff ?(config = default_config) ~baseline ~current () =
     (fun (id, s) -> add (paper_findings config ~section_id:id (rows_of s)))
     csec;
   add (speedup_findings config csec);
+  add (alloc_findings config bsec csec);
   add (par_row_findings csec);
   List.iter
     (fun (id, bs) ->

@@ -43,6 +43,17 @@ type config = {
           would defeat its purpose). Default [None] (no check): parallel
           wall time is machine-bound, so the gate is opt-in for CI legs
           that know their runner's core count. *)
+  max_alloc_ratio : float option;
+      (** when set, every section present in both documents with a
+          [gc.minor_words] metric must show
+          [current / baseline <= f] — normalized per simulator step
+          ([counters.sim.steps]) when the section counted steps, so
+          trial-count changes don't read as allocation changes. A hard
+          [Fail] past the ceiling, and a hard [Fail] when {e no} section
+          pair carries GC data (a silently skipped allocation gate would
+          defeat its purpose). Allocation counts are deterministic per
+          workload on a given compiler — unlike wall time — so this is a
+          hard gate, not a warning. Default [None]. *)
 }
 
 val default_config : config

@@ -3,13 +3,22 @@
    protected by its own mutex) keeps critical sections a few instructions
    long and spreads contention across [shard_count] locks, while the
    [Claimed]/[Done] slot states make "exactly one caller computes each
-   key" a table-level guarantee rather than a caller convention. *)
+   key" a table-level guarantee rather than a caller convention.
+
+   Shards hold [Slice_tbl]s so the hot probe can run on an encode-buffer
+   slice: [find_or_claim_slice] hashes the slice once, routes on the high
+   bits, and only materializes an owned key string when the probe
+   installs a fresh claim — the claimant gets that string back (it must
+   keep it to [resolve] later). Probes of already-claimed or resolved
+   states allocate nothing. Shard routing uses bits *above* the ones
+   [Slice_tbl] uses for its bucket index: with low bits every key in a
+   shard would share them and pile into a fraction of the buckets. *)
 
 type 'a slot = Claimed of int | Done of 'a
 
 type 'a shard = {
   lock : Mutex.t;
-  tbl : (string, 'a slot) Hashtbl.t;
+  tbl : 'a slot Slice_tbl.t;
   mutable resolved : int;  (* [Done] bindings in this shard *)
 }
 
@@ -24,25 +33,39 @@ let create ?(shards = default_shards) () =
   {
     shards =
       Array.init n (fun _ ->
-          { lock = Mutex.create (); tbl = Hashtbl.create 512; resolved = 0 });
+          {
+            lock = Mutex.create ();
+            tbl = Slice_tbl.create ~size:512 ();
+            resolved = 0;
+          });
     mask = n - 1;
   }
 
 let shard_count t = Array.length t.shards
-let shard_of t key = t.shards.(Hashtbl.hash key land t.mask)
+let[@inline] shard_of_hash t h = t.shards.((h lsr 17) land t.mask)
+let shard_of t key = shard_of_hash t (Slice_tbl.hash_string key)
 
 type 'a claim = [ `Value of 'a | `Busy of int | `Claimed ]
+type 'a slice_claim = [ `Value of 'a | `Busy of int | `Claimed of string ]
 
 let find_or_claim t key ~owner : 'a claim =
   let s = shard_of t key in
   Mutex.lock s.lock;
+  let e = Slice_tbl.probe_string s.tbl key ~default:(Claimed owner) in
   let r =
-    match Hashtbl.find_opt s.tbl key with
-    | Some (Done v) -> `Value v
-    | Some (Claimed o) -> `Busy o
-    | None ->
-        Hashtbl.add s.tbl key (Claimed owner);
-        `Claimed
+    if Slice_tbl.last_was_new s.tbl then `Claimed
+    else match e.Slice_tbl.value with Done v -> `Value v | Claimed o -> `Busy o
+  in
+  Mutex.unlock s.lock;
+  r
+
+let find_or_claim_slice t data ~len ~owner : 'a slice_claim =
+  let s = shard_of_hash t (Slice_tbl.hash_slice data len) in
+  Mutex.lock s.lock;
+  let e = Slice_tbl.probe_slice s.tbl data ~len ~default:(Claimed owner) in
+  let r =
+    if Slice_tbl.last_was_new s.tbl then `Claimed e.Slice_tbl.key
+    else match e.Slice_tbl.value with Done v -> `Value v | Claimed o -> `Busy o
   in
   Mutex.unlock s.lock;
   r
@@ -50,22 +73,37 @@ let find_or_claim t key ~owner : 'a claim =
 let resolve t key v =
   let s = shard_of t key in
   Mutex.lock s.lock;
-  (match Hashtbl.find_opt s.tbl key with
-  | Some (Done _) ->
-      Mutex.unlock s.lock;
-      invalid_arg "Par.Sharded_tbl.resolve: key already resolved"
-  | Some (Claimed _) | None ->
-      Hashtbl.replace s.tbl key (Done v);
-      s.resolved <- s.resolved + 1);
+  let e = Slice_tbl.probe_string s.tbl key ~default:(Done v) in
+  if Slice_tbl.last_was_new s.tbl then s.resolved <- s.resolved + 1
+  else begin
+    match e.Slice_tbl.value with
+    | Done _ ->
+        Mutex.unlock s.lock;
+        invalid_arg "Par.Sharded_tbl.resolve: key already resolved"
+    | Claimed _ ->
+        e.Slice_tbl.value <- Done v;
+        s.resolved <- s.resolved + 1
+  end;
   Mutex.unlock s.lock
 
 let get t key =
   let s = shard_of t key in
   Mutex.lock s.lock;
   let r =
-    match Hashtbl.find_opt s.tbl key with
-    | Some (Done v) -> Some v
-    | Some (Claimed _) | None -> None
+    match Slice_tbl.find_string s.tbl key with
+    | Some { Slice_tbl.value = Done v; _ } -> Some v
+    | Some { Slice_tbl.value = Claimed _; _ } | None -> None
+  in
+  Mutex.unlock s.lock;
+  r
+
+let get_slice t data ~len =
+  let s = shard_of_hash t (Slice_tbl.hash_slice data len) in
+  Mutex.lock s.lock;
+  let r =
+    match Slice_tbl.find_slice s.tbl data ~len with
+    | Some { Slice_tbl.value = Done v; _ } -> Some v
+    | Some { Slice_tbl.value = Claimed _; _ } | None -> None
   in
   Mutex.unlock s.lock;
   r
@@ -74,7 +112,7 @@ let length t =
   Array.fold_left
     (fun acc s ->
       Mutex.lock s.lock;
-      let n = Hashtbl.length s.tbl in
+      let n = Slice_tbl.length s.tbl in
       Mutex.unlock s.lock;
       acc + n)
     0 t.shards
@@ -93,10 +131,10 @@ let iter_resolved t f =
     (fun s ->
       Mutex.lock s.lock;
       let pairs =
-        Hashtbl.fold
+        Slice_tbl.fold s.tbl
           (fun k slot acc ->
             match slot with Done v -> (k, v) :: acc | Claimed _ -> acc)
-          s.tbl []
+          []
       in
       Mutex.unlock s.lock;
       List.iter (fun (k, v) -> f k v) pairs)

@@ -25,6 +25,7 @@ val create : ?shards:int -> unit -> 'a t
 val shard_count : 'a t -> int
 
 type 'a claim = [ `Value of 'a | `Busy of int | `Claimed ]
+type 'a slice_claim = [ `Value of 'a | `Busy of int | `Claimed of string ]
 
 (** [find_or_claim t key ~owner] atomically probes [key]:
     - [`Value v] — the key is resolved; [v] is shared.
@@ -35,6 +36,16 @@ type 'a claim = [ `Value of 'a | `Busy of int | `Claimed ]
       eventually {!resolve} the key. *)
 val find_or_claim : 'a t -> string -> owner:int -> 'a claim
 
+(** [find_or_claim_slice t data ~len ~owner] is {!find_or_claim} keyed by
+    the slice [Bytes.sub_string data 0 len] — without materializing it.
+    The hot path for solver workers probing with a reusable encode
+    buffer: [`Value]/[`Busy] outcomes allocate nothing; only a fresh
+    claim copies the slice to an owned string, returned as
+    [`Claimed key] so the claimant can {!resolve} it after the buffer
+    has been reused. *)
+val find_or_claim_slice :
+  'a t -> Bytes.t -> len:int -> owner:int -> 'a slice_claim
+
 (** [resolve t key v] publishes the value for a claimed (or absent) key.
     Raises [Invalid_argument] if the key is already resolved — a second
     resolution would mean two domains computed the same key, the bug the
@@ -43,6 +54,10 @@ val resolve : 'a t -> string -> 'a -> unit
 
 (** [get t key] is the resolved value, [None] while absent or claimed. *)
 val get : 'a t -> string -> 'a option
+
+(** [get_slice t data ~len] is {!get} keyed by the slice, allocating
+    nothing beyond the result option. *)
+val get_slice : 'a t -> Bytes.t -> len:int -> 'a option
 
 (** [length t] counts all bindings (claimed and resolved); exact when
     quiescent, a racy snapshot under concurrency. *)

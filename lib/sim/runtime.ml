@@ -38,12 +38,41 @@ type in_transit = { msg_id : int; src : int; dst : int; msg : Message.t }
 
 type pstatus = Active of unit Proc.t | Terminated | Crashed_p
 
+(* A mailbox, flattened: ids and messages in parallel arrays, ARRIVAL
+   order ascending. The old representation (a newest-first list ref)
+   forced a List.rev allocation on every oldest-first read — and the
+   enabled-set computation reads every blocked process's mailbox on
+   every single step. Scans here touch no allocator; removal is a
+   blit. *)
+type mbox = {
+  mutable mb_ids : int array;
+  mutable mb_msgs : Message.t array;
+  mutable mb_len : int;
+}
+
 type t = {
   config : config;
   store : Base_reg.store;
   procs : pstatus array;
-  mailboxes : (int * Message.t) list ref array;  (* arrival order *)
-  mutable transit : in_transit list;  (* send order *)
+  (* [active]/[crashed] mirror [procs] as bitsets (bit p = process p):
+     the enabled-set scan and [finished] test them without touching the
+     status array's boxed payloads *)
+  mutable active : int;
+  mutable crashed : int;
+  mailboxes : mbox array;
+  (* the in-transit multiset, flattened likewise: SEND order ascending,
+     so the enabled scan needs no reversal. Delivery removes by blit. *)
+  mutable tr_ids : int array;
+  mutable tr_dst : int array;
+  mutable tr_src : int array;
+  mutable tr_msg : Message.t array;
+  mutable tr_len : int;
+  (* interned event values: [enabled] conses cached events instead of
+     allocating fresh ones each step (structural equality is what the
+     schedulers use, so sharing is invisible to them) *)
+  step_evs : event array;
+  crash_evs : event array;
+  mutable deliver_evs : event array;  (* indexed by msg id *)
   servers : (string * int, Value.t) Hashtbl.t;
   inv_objs : (int, string) Hashtbl.t;  (* inv id -> obj name, for returns *)
   inv_stacks : int list array;
@@ -56,7 +85,12 @@ type t = {
   rand : rand_source;
 }
 
-let create config rand =
+(* slot filler for vacated message cells, so removal drops the reference *)
+let no_msg = Message.make ~obj_name:"" Value.unit
+
+let create ?trace_level config rand =
+  if config.n > Sys.int_size - 2 then
+    Fmt.invalid_arg "Runtime.create: n = %d exceeds the bitset width" config.n;
   let store =
     Base_reg.create_store
       (List.concat_map (fun (o : Obj_impl.t) -> o.registers ~n:config.n) config.objects)
@@ -75,12 +109,23 @@ let create config rand =
     config;
     store;
     procs = Array.init config.n (fun p -> Active (config.program ~self:p));
-    mailboxes = Array.init config.n (fun _ -> ref []);
-    transit = [];
+    active = (1 lsl config.n) - 1;
+    crashed = 0;
+    mailboxes =
+      Array.init config.n (fun _ ->
+          { mb_ids = Array.make 8 0; mb_msgs = Array.make 8 no_msg; mb_len = 0 });
+    tr_ids = Array.make 16 0;
+    tr_dst = Array.make 16 0;
+    tr_src = Array.make 16 0;
+    tr_msg = Array.make 16 no_msg;
+    tr_len = 0;
+    step_evs = Array.init config.n (fun p -> Step p);
+    crash_evs = Array.init config.n (fun p -> Crash p);
+    deliver_evs = Array.make 16 (Deliver 0);
     servers;
     inv_objs = Hashtbl.create 64;
     inv_stacks = Array.make config.n [];
-    trace = Trace.create ();
+    trace = Trace.create ?level:trace_level ();
     next_msg = 0;
     next_inv = 0;
     next_nonce = 0;
@@ -93,10 +138,30 @@ let n t = t.config.n
 let trace t = t.trace
 let history t = Trace.history t.trace
 let outcome t = History.Outcome.of_history (history t)
-let in_transit t = List.rev t.transit
-let mailbox t p = List.rev !(t.mailboxes.(p))
-let is_active t p = match t.procs.(p) with Active _ -> true | _ -> false
-let is_crashed t p = t.procs.(p) = Crashed_p
+
+(* observation accessors materialize lists from the flat arrays — cold
+   paths, for adversaries and checkers *)
+let in_transit t =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        ({ msg_id = t.tr_ids.(i); src = t.tr_src.(i); dst = t.tr_dst.(i);
+           msg = t.tr_msg.(i) }
+        :: acc)
+  in
+  go (t.tr_len - 1) []
+
+let mailbox t p =
+  let mb = t.mailboxes.(p) in
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) ((mb.mb_ids.(i), mb.mb_msgs.(i)) :: acc)
+  in
+  go (mb.mb_len - 1) []
+
+let is_active t p = t.active land (1 lsl p) <> 0
+let is_crashed t p = t.crashed land (1 lsl p) <> 0
 
 let current_inv t p = match t.inv_stacks.(p) with [] -> None | i :: _ -> Some i
 let read_register t rid = Base_reg.read t.store rid ~reader:(-1)
@@ -110,7 +175,9 @@ let find_obj t name =
   | None -> Fmt.invalid_arg "unknown object %s" name
 
 let mailbox_has_match t p pred =
-  List.exists (fun (_, m) -> pred m) (mailbox t p)
+  let mb = t.mailboxes.(p) in
+  let rec go i = i < mb.mb_len && (pred mb.mb_msgs.(i) || go (i + 1)) in
+  go 0
 
 let head_op_blocked t p =
   match t.procs.(p) with
@@ -139,29 +206,26 @@ let next_op_descr t p =
       | Proc.Call_marker { obj_name; meth; _ } -> Fmt.str "call:%s.%s" obj_name meth
       | Proc.Ret_marker _ -> "ret_marker")
 
+(* The enabled set, rebuilt every step of every run: steps in process
+   order, then delivers in send order, then crashes in process order —
+   exactly the old list-pipeline's order, built back to front from the
+   bitsets and flat arrays so the only allocation is the result's cons
+   cells (the event values themselves are interned). *)
 let enabled t =
-  let steps =
-    List.filter_map
-      (fun p ->
-        match t.procs.(p) with
-        | Active _ when not (head_op_blocked t p) -> Some (Step p)
-        | Active _ | Terminated | Crashed_p -> None)
-      (List.init t.config.n Fun.id)
-  in
-  let delivers =
-    List.filter_map
-      (fun (m : in_transit) ->
-        if is_crashed t m.dst then None else Some (Deliver m.msg_id))
-      (in_transit t)
-  in
-  let crashes =
-    if t.config.enable_crashes && t.crashes < t.config.max_crashes then
-      List.filter_map
-        (fun p -> if is_active t p then Some (Crash p) else None)
-        (List.init t.config.n Fun.id)
-    else []
-  in
-  steps @ delivers @ crashes
+  let acc = ref [] in
+  if t.config.enable_crashes && t.crashes < t.config.max_crashes then
+    for p = t.config.n - 1 downto 0 do
+      if t.active land (1 lsl p) <> 0 then acc := t.crash_evs.(p) :: !acc
+    done;
+  for i = t.tr_len - 1 downto 0 do
+    if t.crashed land (1 lsl t.tr_dst.(i)) = 0 then
+      acc := t.deliver_evs.(t.tr_ids.(i)) :: !acc
+  done;
+  for p = t.config.n - 1 downto 0 do
+    if t.active land (1 lsl p) <> 0 && not (head_op_blocked t p) then
+      acc := t.step_evs.(p) :: !acc
+  done;
+  !acc
 
 exception Not_enabled of event
 
@@ -176,60 +240,119 @@ let draw_random t bound =
         v
       end
 
+let grow_ints a =
+  let b = Array.make (2 * Array.length a) 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_msgs a =
+  let b = Array.make (2 * Array.length a) no_msg in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
 let enqueue_message t ~src ~dst msg =
   let msg_id = t.next_msg in
   t.next_msg <- msg_id + 1;
-  t.transit <- { msg_id; src; dst; msg } :: t.transit;
+  if t.tr_len = Array.length t.tr_ids then begin
+    t.tr_ids <- grow_ints t.tr_ids;
+    t.tr_dst <- grow_ints t.tr_dst;
+    t.tr_src <- grow_ints t.tr_src;
+    t.tr_msg <- grow_msgs t.tr_msg
+  end;
+  t.tr_ids.(t.tr_len) <- msg_id;
+  t.tr_dst.(t.tr_len) <- dst;
+  t.tr_src.(t.tr_len) <- src;
+  t.tr_msg.(t.tr_len) <- msg;
+  t.tr_len <- t.tr_len + 1;
+  (* intern the event now; [enabled] will cons it every step the message
+     stays in transit *)
+  if msg_id >= Array.length t.deliver_evs then begin
+    let evs = Array.make (2 * Array.length t.deliver_evs) (Deliver 0) in
+    Array.blit t.deliver_evs 0 evs 0 (Array.length t.deliver_evs);
+    t.deliver_evs <- evs
+  end;
+  t.deliver_evs.(msg_id) <- Deliver msg_id;
   Obs.Metrics.incr M.messages_sent;
-  Trace.add t.trace (Trace.Sent { msg_id; src; dst; msg; inv = current_inv t src });
+  if Trace.full t.trace then
+    Trace.add t.trace
+      (Trace.Sent { msg_id; src; dst; msg; inv = current_inv t src })
+  else Trace.bump_sent t.trace;
   msg_id
 
 let deliver t msg_id =
-  let rec extract acc = function
-    | [] -> raise (Not_enabled (Deliver msg_id))
-    | (m : in_transit) :: rest when m.msg_id = msg_id -> (m, List.rev_append acc rest)
-    | m :: rest -> extract (m :: acc) rest
+  let rec find i =
+    if i >= t.tr_len then raise (Not_enabled (Deliver msg_id))
+    else if t.tr_ids.(i) = msg_id then i
+    else find (i + 1)
   in
-  let m, rest = extract [] t.transit in
-  if is_crashed t m.dst then raise (Not_enabled (Deliver msg_id));
-  t.transit <- rest;
-  let obj = find_obj t m.msg.obj_name in
+  let i = find 0 in
+  let src = t.tr_src.(i) and dst = t.tr_dst.(i) and msg = t.tr_msg.(i) in
+  if is_crashed t dst then raise (Not_enabled (Deliver msg_id));
+  let tail = t.tr_len - i - 1 in
+  Array.blit t.tr_ids (i + 1) t.tr_ids i tail;
+  Array.blit t.tr_dst (i + 1) t.tr_dst i tail;
+  Array.blit t.tr_src (i + 1) t.tr_src i tail;
+  Array.blit t.tr_msg (i + 1) t.tr_msg i tail;
+  t.tr_len <- t.tr_len - 1;
+  t.tr_msg.(t.tr_len) <- no_msg;
+  let obj = find_obj t msg.Message.obj_name in
   let handled =
     match (obj.on_message, obj.init_server) with
     | Some handler, Some _ -> (
-        let state = Hashtbl.find t.servers (obj.name, m.dst) in
-        match handler ~self:m.dst ~state ~src:m.src ~body:m.msg.body with
+        let state = Hashtbl.find t.servers (obj.name, dst) in
+        match handler ~self:dst ~state ~src ~body:msg.Message.body with
         | Some { state = state'; out } ->
-            Hashtbl.replace t.servers (obj.name, m.dst) state';
+            Hashtbl.replace t.servers (obj.name, dst) state';
             List.iter
-              (fun (dst, body) ->
+              (fun (dst', body) ->
                 ignore
-                  (enqueue_message t ~src:m.dst ~dst
+                  (enqueue_message t ~src:dst ~dst:dst'
                      (Message.make ~obj_name:obj.name body)))
               out;
             true
         | None -> false)
     | _ -> false
   in
-  if not handled then
-    t.mailboxes.(m.dst) := (m.msg_id, m.msg) :: !(t.mailboxes.(m.dst));
+  if not handled then begin
+    let mb = t.mailboxes.(dst) in
+    if mb.mb_len = Array.length mb.mb_ids then begin
+      mb.mb_ids <- grow_ints mb.mb_ids;
+      mb.mb_msgs <- grow_msgs mb.mb_msgs
+    end;
+    mb.mb_ids.(mb.mb_len) <- msg_id;
+    mb.mb_msgs.(mb.mb_len) <- msg;
+    mb.mb_len <- mb.mb_len + 1
+  end;
   Obs.Metrics.incr M.messages_delivered;
-  Trace.add t.trace
-    (Trace.Delivered { msg_id = m.msg_id; src = m.src; dst = m.dst; msg = m.msg; handled })
+  if Trace.full t.trace then
+    Trace.add t.trace (Trace.Delivered { msg_id; src; dst; msg; handled })
+  else Trace.bump t.trace
 
+(* consume the OLDEST matching message: arrival order ascending, so the
+   first match wins and removal is a blit *)
 let consume_matching t p pred =
-  (* the mailbox is stored newest-first; consume the oldest matching message *)
-  let oldest_first = List.rev !(t.mailboxes.(p)) in
-  match List.find_opt (fun (_, m) -> pred m) oldest_first with
-  | None -> None
-  | Some (id, m) ->
-      t.mailboxes.(p) := List.filter (fun (id', _) -> id' <> id) !(t.mailboxes.(p));
-      Some (id, m)
+  let mb = t.mailboxes.(p) in
+  let rec find i =
+    if i >= mb.mb_len then -1 else if pred mb.mb_msgs.(i) then i else find (i + 1)
+  in
+  let i = find 0 in
+  if i < 0 then None
+  else begin
+    let id = mb.mb_ids.(i) and m = mb.mb_msgs.(i) in
+    let tail = mb.mb_len - i - 1 in
+    Array.blit mb.mb_ids (i + 1) mb.mb_ids i tail;
+    Array.blit mb.mb_msgs (i + 1) mb.mb_msgs i tail;
+    mb.mb_len <- mb.mb_len - 1;
+    mb.mb_msgs.(mb.mb_len) <- no_msg;
+    Some (id, m)
+  end
 
 let step_process t p =
   match t.procs.(p) with
   | Terminated | Crashed_p -> raise (Not_enabled (Step p))
-  | Active (Proc.Ret ()) -> t.procs.(p) <- Terminated
+  | Active (Proc.Ret ()) ->
+      t.procs.(p) <- Terminated;
+      t.active <- t.active land lnot (1 lsl p)
   | Active (Proc.Op (op, k)) ->
       let continue : type a. a -> (a -> unit Proc.t) -> unit =
        fun v k -> t.procs.(p) <- Active (k v)
@@ -248,24 +371,33 @@ let step_process t p =
           match consume_matching t p pred with
           | None -> raise (Not_enabled (Step p))
           | Some (msg_id, msg) ->
-              Trace.add t.trace (Trace.Received { msg_id; proc = p; msg; inv });
+              if Trace.full t.trace then
+                Trace.add t.trace (Trace.Received { msg_id; proc = p; msg; inv })
+              else Trace.bump t.trace;
               continue msg k)
       | Proc.Read_reg r ->
           let value = Base_reg.read t.store r ~reader:p in
           Obs.Metrics.incr M.reg_reads;
-          Trace.add t.trace (Trace.Reg_read { proc = p; reg = r; value; inv });
+          if Trace.full t.trace then
+            Trace.add t.trace (Trace.Reg_read { proc = p; reg = r; value; inv })
+          else Trace.bump t.trace;
           continue value k
       | Proc.Write_reg (r, value) ->
           Base_reg.write t.store r ~writer:p value;
           Obs.Metrics.incr M.reg_writes;
-          Trace.add t.trace (Trace.Reg_write { proc = p; reg = r; value; inv });
+          if Trace.full t.trace then
+            Trace.add t.trace (Trace.Reg_write { proc = p; reg = r; value; inv })
+          else Trace.bump t.trace;
           continue () k
       | Proc.Rmw_reg (r, f) ->
           let cur = Base_reg.read t.store r ~reader:p in
           let stored, result = f cur in
           Base_reg.write t.store r ~writer:p stored;
           Obs.Metrics.incr M.reg_writes;
-          Trace.add t.trace (Trace.Reg_write { proc = p; reg = r; value = stored; inv });
+          if Trace.full t.trace then
+            Trace.add t.trace
+              (Trace.Reg_write { proc = p; reg = r; value = stored; inv })
+          else Trace.bump t.trace;
           continue result k
       | Proc.Random (bound, kind) ->
           let result = draw_random t bound in
@@ -276,7 +408,10 @@ let step_process t p =
                 | Proc.Program_random -> "program"
                 | Proc.Object_random -> "object")
                 bound result);
-          Trace.add t.trace (Trace.Randomized { proc = p; kind; bound; result; inv });
+          if Trace.full t.trace then
+            Trace.add t.trace
+              (Trace.Randomized { proc = p; kind; bound; result; inv })
+          else Trace.bump t.trace;
           continue result k
       | Proc.Fresh ->
           let v = t.next_nonce in
@@ -329,13 +464,14 @@ let step t e =
       (match t.procs.(p) with
       | Active _ ->
           t.procs.(p) <- Crashed_p;
+          t.active <- t.active land lnot (1 lsl p);
+          t.crashed <- t.crashed lor (1 lsl p);
           t.crashes <- t.crashes + 1;
           Obs.Metrics.incr M.crashes;
           Trace.add t.trace (Trace.Crashed p)
       | Terminated | Crashed_p -> raise (Not_enabled e))
 
-let finished t =
-  Array.for_all (function Active _ -> false | Terminated | Crashed_p -> true) t.procs
+let finished t = t.active = 0
 
 type run_result = Completed | Deadlocked | Step_limit_reached
 

@@ -36,7 +36,13 @@ type event =
 type in_transit = { msg_id : int; src : int; dst : int; msg : Message.t }
 type t
 
-val create : config -> rand_source -> t
+(** [create ?trace_level config rand] — [trace_level] (default
+    {!Trace.Full}) selects how much the execution trace materializes:
+    {!Trace.History} keeps only actions/labels/notes/crashes (enough for
+    {!outcome} and label queries) and skips allocating the per-event
+    entries, for long simulations that never replay or lin-check their
+    trace. Step and message {e counts} stay exact at either level. *)
+val create : ?trace_level:Trace.level -> config -> rand_source -> t
 
 (** {1 Stepping} *)
 

@@ -16,20 +16,33 @@ type entry =
   | Noted of { proc : int; name : string; value : Util.Value.t; inv : int option }
   | Crashed of int
 
+type level = Full | History
+
 type t = {
+  level : level;
   mutable rev_entries : entry list;
   mutable count : int;
   mutable forward : entry list option;  (* cache of [List.rev rev_entries] *)
   mutable sent : int;
 }
 
-let create () = { rev_entries = []; count = 0; forward = None; sent = 0 }
+let create ?(level = Full) () =
+  { level; rev_entries = []; count = 0; forward = None; sent = 0 }
+
+let full t = t.level = Full
 
 let add t e =
   t.rev_entries <- e :: t.rev_entries;
   t.count <- t.count + 1;
   t.forward <- None;
   match e with Sent _ -> t.sent <- t.sent + 1 | _ -> ()
+
+(* skipped-entry counting: [count]/[sent] agree with a [Full] trace *)
+let bump t = t.count <- t.count + 1
+
+let bump_sent t =
+  t.count <- t.count + 1;
+  t.sent <- t.sent + 1
 
 let entries t =
   match t.forward with

@@ -26,8 +26,31 @@ type entry =
 
 type t
 
-val create : unit -> t
+(** What the trace materializes. [Full] records every entry. [History]
+    records only the semantically-load-bearing entries — [Action],
+    [Labeled], [Noted], [Crashed] — and counts (but does not allocate)
+    the hot per-event ones, so outcome extraction ([history]) and label
+    queries still work while a long simulation allocates nothing per
+    register/message/coin event. [count_steps] and [count_messages]
+    stay exact at either level; the linearizability checkers and replay
+    tooling need [Full]. *)
+type level = Full | History
+
+val create : ?level:level -> unit -> t
+
+(** [full t] — whether this trace records hot per-event entries. Callers
+    sitting on a hot path guard entry construction on this and call
+    {!bump}/{!bump_sent} instead when it is [false]. *)
+val full : t -> bool
+
 val add : t -> entry -> unit
+
+(** [bump t] counts one skipped entry ([count_steps] parity with a
+    [Full] trace of the same run). *)
+val bump : t -> unit
+
+(** [bump_sent t] counts one skipped [Sent] entry. *)
+val bump_sent : t -> unit
 
 (** [entries t] in temporal order. The forward list is cached between
     [add]s, and the projections below fold over the internal reversed list

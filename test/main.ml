@@ -18,6 +18,7 @@ let () =
       ("model-va", Test_model.va_tests);
       ("adversary", Test_adversary.tests);
       ("par", Test_par.tests);
+      ("solver-inplace", Test_inplace.tests);
       ("solver-par", Test_solver_par.tests);
       ("obs", Test_obs.tests);
       ("obs-ring", Test_ring.tests);

@@ -252,6 +252,67 @@ let test_par_speedup_rows () =
             String.length f.subject > 8 && String.sub f.subject 0 8 = "speedup ")
           r.findings))
 
+(* The --max-alloc-ratio gate: per-step allocation past the ceiling is a
+   hard Fail, within it an Info; steps normalize away trial-count
+   changes; a gated run with no GC data anywhere fails loudly. *)
+let alloc_doc ?steps ~minor_words () =
+  let doc = Obs.Results.create ~generated_by:"test suite" () in
+  let s = Obs.Results.section doc ~id:"E9" ~title:"rounds" in
+  Obs.Results.add_section_metrics s
+    ([ ("gc", Obs.Json.Obj [ ("minor_words", Obs.Json.Float minor_words) ]) ]
+    @
+    match steps with
+    | Some n -> [ ("counters", Obs.Json.Obj [ ("sim.steps", Obs.Json.Int n) ]) ]
+    | None -> []);
+  Obs.Results.to_json doc
+
+let test_max_alloc_ratio_gate () =
+  let gated ratio = { Obs.Diff.default_config with max_alloc_ratio = Some ratio } in
+  let alloc_findings (r : Obs.Diff.report) =
+    List.filter (fun (f : Obs.Diff.finding) -> f.subject = "alloc_ratio") r.findings
+  in
+  (* 1000 -> 900 words over the same steps: well within 1.5x, Info only *)
+  let baseline = alloc_doc ~steps:50 ~minor_words:1000.0 () in
+  let better = alloc_doc ~steps:50 ~minor_words:900.0 () in
+  let r = run_diff ~config:(gated 1.5) ~baseline ~current:better () in
+  (match alloc_findings r with
+  | [ f ] -> Alcotest.(check bool) "within ceiling is Info" true (f.severity = Obs.Diff.Info)
+  | fs -> Alcotest.failf "expected 1 alloc finding, got %d" (List.length fs));
+  Alcotest.(check int) "exit 0" 0 (Obs.Diff.exit_code r);
+  (* 2x the per-step allocation: Fail past a 1.5x ceiling *)
+  let worse = alloc_doc ~steps:50 ~minor_words:2000.0 () in
+  let r = run_diff ~config:(gated 1.5) ~baseline ~current:worse () in
+  (match alloc_findings r with
+  | [ f ] -> Alcotest.(check bool) "past ceiling is Fail" true (f.severity = Obs.Diff.Fail)
+  | fs -> Alcotest.failf "expected 1 alloc finding, got %d" (List.length fs));
+  Alcotest.(check int) "exit 1" 1 (Obs.Diff.exit_code r);
+  (* same total words over 2x the steps: per-step allocation halved, so a
+     trial-count change does not read as an allocation change *)
+  let more_steps = alloc_doc ~steps:100 ~minor_words:1000.0 () in
+  let r = run_diff ~config:(gated 1.01) ~baseline ~current:more_steps () in
+  (* (the sim.steps metric itself drifts hard here — only the gate's own
+     verdict is under test) *)
+  Alcotest.(check int) "per-step normalization passes" 0
+    (List.length
+       (List.filter (fun (f : Obs.Diff.finding) -> f.severity = Obs.Diff.Fail)
+          (alloc_findings r)));
+  (* no steps counter on either side: raw minor words compare *)
+  let raw_base = alloc_doc ~minor_words:1000.0 () in
+  let raw_worse = alloc_doc ~minor_words:1600.0 () in
+  let r = run_diff ~config:(gated 1.5) ~baseline:raw_base ~current:raw_worse () in
+  Alcotest.(check int) "raw-words fallback fails past ceiling" 1 (count Obs.Diff.Fail r);
+  (* ungated, the same drift stays a soft Warn at worst *)
+  let r = run_diff ~baseline ~current:worse () in
+  Alcotest.(check int) "ungated drift never fails" 0 (count Obs.Diff.Fail r);
+  (* a gated run with no GC data anywhere fails loudly instead of
+     silently skipping *)
+  let dry = make_doc ~metrics:[ ("states", 10.0) ] () in
+  let r = run_diff ~config:(gated 1.5) ~baseline:dry ~current:dry () in
+  (match alloc_findings r with
+  | [ f ] -> Alcotest.(check bool) "missing GC data is Fail" true (f.severity = Obs.Diff.Fail)
+  | fs -> Alcotest.failf "expected 1 alloc finding, got %d" (List.length fs));
+  Alcotest.(check int) "exit 1 on missing data" 1 (Obs.Diff.exit_code r)
+
 (* ---- Obs.Gc_stats ---------------------------------------------------- *)
 
 let test_gc_stats_measure () =
@@ -401,6 +462,7 @@ let tests =
     Alcotest.test_case "diff: nested metrics, rendering" `Quick
       test_nested_metrics_and_report_render;
     Alcotest.test_case "diff: per-row PAR speedups" `Quick test_par_speedup_rows;
+    Alcotest.test_case "diff: max-alloc-ratio gate" `Quick test_max_alloc_ratio_gate;
     Alcotest.test_case "gc-stats: measure and serialize" `Quick test_gc_stats_measure;
     Alcotest.test_case "trajectory: per-section tables" `Quick test_trajectory_tables;
     Alcotest.test_case "trajectory: derived GC series" `Quick

@@ -23,6 +23,7 @@ module Toy = struct
     | Flipped true -> "t"
     | Flipped false -> "f"
 
+  let encode_into s b = Mdp.Key.raw b (encode s)
   let pp_move ppf _ = Fmt.string ppf "pick"
 end
 
@@ -43,6 +44,7 @@ module Cyclic = struct
   let apply s Go = Det (match s with A -> B | B -> A)
   let terminal_value _ = 0.0
   let encode = function A -> "a" | B -> "b"
+  let encode_into s b = Mdp.Key.raw b (encode s)
   let pp_move ppf Go = Fmt.string ppf "go"
 end
 
@@ -76,6 +78,7 @@ module Depth2 = struct
     | Mid i -> "m" ^ string_of_int i
     | Leaf v -> "l" ^ string_of_float v
 
+  let encode_into s b = Mdp.Key.raw b (encode s)
   let pp_move ppf (M i) = Fmt.pf ppf "m%d" i
 end
 

@@ -298,6 +298,7 @@ module Tiny = struct
 
   let terminal_value _ = 1.0
   let encode = string_of_int
+  let encode_into s b = Mdp.Key.raw b (encode s)
   let pp_move ppf m = Fmt.string ppf (match m with Walk -> "walk" | Gamble -> "gamble")
 end
 

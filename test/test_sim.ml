@@ -254,6 +254,52 @@ let test_outcome_extraction () =
       | None -> Alcotest.fail "missing read outcome")
     [ 0; 1; 2 ]
 
+(* A History-level trace must keep outcomes, labels and the exact
+   step/message counts of a Full run of the same schedule, while
+   materializing none of the hot per-event entries. *)
+let test_trace_history_level () =
+  let run level =
+    let t =
+      Runtime.create ?trace_level:level
+        (Programs.Weakener.abd_config ())
+        (Runtime.Gen (Rng.of_int 11))
+    in
+    (match Runtime.run t ~max_steps:100_000 Adversary.Schedulers.eager_delivery with
+    | Runtime.Completed -> ()
+    | _ -> Alcotest.fail "weakener run did not complete");
+    t
+  in
+  let tf = run None and th = run (Some Trace.History) in
+  Alcotest.(check int)
+    "step counts agree"
+    (Trace.count_steps (Runtime.trace tf))
+    (Trace.count_steps (Runtime.trace th));
+  Alcotest.(check int)
+    "message counts agree"
+    (Trace.count_messages (Runtime.trace tf))
+    (Trace.count_messages (Runtime.trace th));
+  Alcotest.(check bool)
+    "full run recorded per-event entries" true
+    (List.exists
+       (function Trace.Sent _ -> true | _ -> false)
+       (Trace.entries (Runtime.trace tf)));
+  Alcotest.(check bool)
+    "history run materialized none" false
+    (List.exists
+       (function
+         | Trace.Sent _ | Trace.Delivered _ | Trace.Received _
+         | Trace.Reg_read _ | Trace.Reg_write _ | Trace.Randomized _ ->
+             true
+         | _ -> false)
+       (Trace.entries (Runtime.trace th)));
+  (* outcomes come from Action entries, which History keeps *)
+  let bindings t =
+    List.map
+      (fun ((tag, occ), v) -> Fmt.str "%s/%d=%a" tag occ Value.pp v)
+      (History.Outcome.bindings (Runtime.outcome t))
+  in
+  Alcotest.(check (list string)) "outcomes agree" (bindings tf) (bindings th)
+
 let value_roundtrip () =
   Alcotest.check value "none/some" (Value.some (Value.int 3)) (Value.some (Value.int 3));
   Alcotest.(check (option value)) "to_option none" None (Value.to_option Value.none);
@@ -273,5 +319,6 @@ let tests =
     Alcotest.test_case "crash event" `Quick test_crash_event;
     Alcotest.test_case "histories are well-formed" `Quick test_history_well_formed;
     Alcotest.test_case "outcome extraction" `Quick test_outcome_extraction;
+    Alcotest.test_case "trace History level" `Quick test_trace_history_level;
     Alcotest.test_case "value option roundtrip" `Quick value_roundtrip;
   ]
