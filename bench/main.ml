@@ -38,6 +38,7 @@ type options = {
   memprof : bool;
   memprof_rate : float;
   memprof_collapsed : string option;
+  memo_budget : int option;
   mutable skip_bechamel : bool;
 }
 
@@ -54,13 +55,14 @@ let options =
      bit-identical at any job count, but the per-domain solver stats land
      in the results document and would drift against single-job baselines *)
   and jobs = ref (Option.value (Par.Pool.env_jobs ()) ~default:1)
+  and memo_budget = ref None
   and skip_bechamel = ref false in
   let usage () =
     Fmt.epr
       "usage: main.exe [--json PATH] [--baseline PATH] [--trace-out PATH] \
-       [--only E1,E2,...] [--progress] [--jobs N] [--memprof] \
-       [--memprof-rate R] [--memprof-collapsed PATH] [--skip-bechamel] \
-       [--verbosity LEVEL]@.";
+       [--only E1,E2,...] [--progress] [--jobs N] [--memo-budget BYTES] \
+       [--memprof] [--memprof-rate R] [--memprof-collapsed PATH] \
+       [--skip-bechamel] [--verbosity LEVEL]@.";
     exit 2
   in
   let rec parse = function
@@ -90,6 +92,14 @@ let options =
         | Some j when j >= 1 -> jobs := j
         | _ ->
             Fmt.epr "--jobs expects a positive integer@.";
+            exit 2);
+        parse rest
+    | "--memo-budget" :: b :: rest ->
+        (match Mdp.Solver.parse_memo_budget b with
+        | Ok n when n > 0 -> memo_budget := Some n
+        | Ok _ -> memo_budget := None
+        | Error e ->
+            Fmt.epr "--memo-budget: %s@." e;
             exit 2);
         parse rest
     | "--memprof" :: rest ->
@@ -131,6 +141,7 @@ let options =
     memprof = !memprof;
     memprof_rate = !memprof_rate;
     memprof_collapsed = !memprof_collapsed;
+    memo_budget = !memo_budget;
     skip_bechamel = !skip_bechamel;
   }
 
@@ -914,6 +925,105 @@ let par_speedup () =
     (if Domain.recommended_domain_count () = 1 then "" else "s")
 
 (* ------------------------------------------------------------------ *)
+(* Out-of-core memo: the same E3-class solve twice, in-RAM and under a
+   deliberately tiny memo budget that forces spilling and block-cache
+   eviction. The claim/resolve protocol makes the spilled solve's value
+   and distinct-state count bit-identical to the in-RAM one — the two
+   comparison rows below assert exactly that, and the CI spill gate
+   diffs them against the committed baseline. The store's cumulative
+   telemetry lands both in this section's metrics (prefixed store_, all
+   soft diff keys — spill counts and cache traffic are budget- and
+   schedule-dependent) and as the document's top-level v6 "store" block
+   that `schema_check --expect-store` validates. *)
+
+let store_spill () =
+  (* small enough that even the BLUNTING_KMAX=1 smoke solve (~106k
+     states, ~9 MB resident) spills heavily; --memo-budget overrides *)
+  let budget = Option.value options.memo_budget ~default:(1 lsl 20) in
+  let solve_k = min 2 kmax in
+  let r =
+    Report.section ~id:"STORE"
+      ~title:
+        (Fmt.str "Out-of-core memo — ABD^%d spilled under a %d-byte budget"
+           solve_k budget)
+      ()
+  in
+  Model.Weakener_abd.reset ();
+  let v_ram, t_ram, st_ram =
+    timed_solve "STORE solve in-RAM" (fun () ->
+        Model.Weakener_abd.bad_probability ?pool:!pool ~jobs:options.jobs
+          ~k:solve_k ())
+  in
+  Model.Weakener_abd.reset ();
+  let v_sp, t_sp, st_sp =
+    timed_solve "STORE solve spilled" (fun () ->
+        Model.Weakener_abd.bad_probability ?pool:!pool ~jobs:options.jobs
+          ~memo_budget:budget ~k:solve_k ())
+  in
+  let ss =
+    match Model.Weakener_abd.store_stats () with
+    | Some s -> s
+    | None -> failwith "STORE: the budgeted solve armed no store"
+  in
+  let value_same = Float.equal v_ram v_sp in
+  let states_same = st_ram.Mdp.Solver.states = st_sp.Mdp.Solver.states in
+  let spilled = ss.Store.Memo.spilled_entries > 0 && ss.Store.Memo.evictions > 0 in
+  Report.row r ~quantity:"spilled value identical to in-RAM"
+    ~paper:"bit-identical at any budget" ~paper_value:1.0
+    ~measured_value:(if value_same then 1.0 else 0.0)
+    ~measured:(Fmt.str "%b (%.6f vs %.6f)" value_same v_ram v_sp)
+    ();
+  Report.row r ~quantity:"spilled distinct-state count identical to in-RAM"
+    ~paper:"exactly-once claim protocol" ~paper_value:1.0
+    ~measured_value:(if states_same then 1.0 else 0.0)
+    ~measured:
+      (Fmt.str "%b (%d vs %d states)" states_same st_ram.Mdp.Solver.states
+         st_sp.Mdp.Solver.states)
+    ();
+  Report.row r ~quantity:"budget forced spilling and cache eviction"
+    ~paper:"spilled_entries > 0 and evictions > 0" ~paper_value:1.0
+    ~measured_value:(if spilled then 1.0 else 0.0)
+    ~measured:
+      (Fmt.str "%b (%d entries in %d runs, %d evictions)" spilled
+         ss.Store.Memo.spilled_entries ss.Store.Memo.spill_runs
+         ss.Store.Memo.evictions)
+    ();
+  Report.table_row r
+    [
+      "out-of-core cost";
+      "(not in paper)";
+      Fmt.str "%.2fs vs %.2fs in-RAM (%.2fx), cache hit rate %.1f%%, read amp \
+               %.2f, write amp %.2f"
+        t_sp t_ram
+        (if t_ram > 0.0 then t_sp /. t_ram else 1.0)
+        (100.0 *. Store.Memo.cache_hit_rate ss)
+        (Store.Memo.read_amplification ss)
+        (Store.Memo.write_amplification ss);
+    ];
+  Report.metrics r
+    [
+      ("states", Obs.Json.Int st_sp.Mdp.Solver.states);
+      ("store_budget_bytes", Obs.Json.Int budget);
+      ("store_spilled_entries", Obs.Json.Int ss.Store.Memo.spilled_entries);
+      ("store_spill_runs", Obs.Json.Int ss.Store.Memo.spill_runs);
+      ("store_bytes_spilled", Obs.Json.Int ss.Store.Memo.bytes_spilled);
+      ("store_evictions", Obs.Json.Int ss.Store.Memo.evictions);
+      ("store_disk_hits", Obs.Json.Int ss.Store.Memo.disk_hits);
+      ("store_cache_hit_rate", Obs.Json.Float (Store.Memo.cache_hit_rate ss));
+      ( "store_read_amplification",
+        Obs.Json.Float (Store.Memo.read_amplification ss) );
+      ( "store_write_amplification",
+        Obs.Json.Float (Store.Memo.write_amplification ss) );
+      ("solve_seconds_ram", Obs.Json.Float t_ram);
+      ("solve_seconds_spilled", Obs.Json.Float t_sp);
+    ];
+  Report.set_store_block ss;
+  (* release the segment files before the next section *)
+  Model.Weakener_abd.reset ();
+  Report.finish r;
+  Fmt.pr "@.  store: %a@." Store.Memo.pp_stats ss
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate *)
 
 let bechamel () =
@@ -1044,6 +1154,7 @@ let () =
       ("E10", e10_snapshot_game);
       ("E11", e11_va_weakener);
       ("PAR", par_speedup);
+      ("STORE", store_spill);
     ]
   in
   (* Start profiling before the shared pool exists: Gc.Memprof covers the

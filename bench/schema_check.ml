@@ -13,6 +13,12 @@
    a cumulative implementation would leak earlier sections' simulator and
    solver counters into a pure-math section like E4.
 
+   --expect-store asserts the document carries the schema-v6 top-level
+   "store" object and that its counters prove the run really exercised
+   the out-of-core path: spilled_entries > 0 and evictions > 0. This is
+   the teeth of the CI spill gate — a budget generous enough to keep
+   everything resident would produce a vacuously-passing gate without it.
+
    --expect-par SECTION (repeatable) asserts the named section carries the
    schema-v3/v4 parallel telemetry: an integer "spawned_domains" >= 1, a
    non-empty "domain_ids" integer list, and a "par_solve" object with a
@@ -23,11 +29,14 @@
    each domain's memo table did. *)
 
 let () =
-  let expect_no_work = ref [] and expect_par = ref [] and path = ref None in
+  let expect_no_work = ref []
+  and expect_par = ref []
+  and expect_store = ref false
+  and path = ref None in
   let usage () =
     Fmt.epr
       "usage: schema_check.exe [--expect-no-work SECTION] [--expect-par \
-       SECTION] FILE.json@.";
+       SECTION] [--expect-store] FILE.json@.";
     exit 2
   in
   let rec parse = function
@@ -37,6 +46,9 @@ let () =
         parse rest
     | "--expect-par" :: id :: rest ->
         expect_par := String.uppercase_ascii id :: !expect_par;
+        parse rest
+    | "--expect-store" :: rest ->
+        expect_store := true;
         parse rest
     | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
         path := Some arg;
@@ -144,6 +156,39 @@ let () =
                           "pruned_subtrees" ]
                   | _ -> fail "expected par_solve object"))
             !expect_par;
+          (if !expect_store then
+             let fail fmt =
+               Fmt.kstr
+                 (fun msg ->
+                   Fmt.epr "%s: --expect-store: %s@." path msg;
+                   exit 1)
+                 fmt
+             in
+             match Obs.Json.member "store" json with
+             | None ->
+                 fail
+                   "document has no top-level \"store\" block — no budgeted \
+                    solve ran"
+             | Some st ->
+                 let counter name =
+                   match
+                     Option.bind (Obs.Json.member name st) Obs.Json.to_int_opt
+                   with
+                   | Some n -> n
+                   | None -> fail "store.%s missing or not an integer" name
+                 in
+                 let spilled = counter "spilled_entries"
+                 and evictions = counter "evictions" in
+                 if spilled <= 0 then
+                   fail
+                     "spilled_entries = %d — the budget never forced a spill, \
+                      the gate is vacuous"
+                     spilled;
+                 if evictions <= 0 then
+                   fail
+                     "evictions = %d — the block cache never evicted, the \
+                      budget is too generous for a recovery gate"
+                     evictions);
           Fmt.pr "%s: ok (schema v%d, %d experiment sections)@." path
             Obs.Results.schema_version
             (List.length sections))

@@ -59,6 +59,36 @@ let jobs_term =
           "Run on $(docv) domains (default: $(b,BLUNTING_JOBS) or 1). \
            Results are bit-identical at every job count.")
 
+(* Shared --memo-budget flag: a byte count with an optional K/M/G
+   suffix. BLUNTING_MEMO_BUDGET sets the process default (read by the
+   solver at startup); the flag overrides it, 0 disables. Budgeted
+   solves spill resolved memo entries to temporary segment files once
+   RAM passes the budget — values and state counts are bit-identical,
+   only peak memory and wall time change. *)
+let memo_budget_term =
+  let bytes_conv =
+    Arg.conv
+      ( (fun s ->
+          match Mdp.Solver.parse_memo_budget s with
+          | Ok n -> Ok n
+          | Error e -> Error (`Msg e)),
+        fun ppf n -> Fmt.pf ppf "%d" n )
+  in
+  Arg.(
+    value
+    & opt (some bytes_conv) None
+    & info [ "memo-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Cap the solver memo's RAM at $(docv) (accepts K/M/G suffixes, \
+           e.g. $(b,64M)); resolved states past the budget spill to \
+           temporary segment files and are probed back through a block \
+           cache. Values are bit-identical to the in-RAM solve. Default: \
+           $(b,BLUNTING_MEMO_BUDGET), else unbounded; $(b,0) disables.")
+
+let pp_store_stats_opt ppf = function
+  | Some st -> Fmt.pf ppf "  store: %a@." Store.Memo.pp_stats st
+  | None -> ()
+
 let registers_enum =
   Arg.enum [ ("atomic", `Atomic); ("abd", `Abd); ("abd-k", `Abd_k) ]
 
@@ -127,7 +157,7 @@ let solve_cmd =
           ~doc:"Per-word sampling probability for $(b,--memprof).")
   in
   let run () k atomic servers abd_c prune progress trace_out memprof
-      memprof_rate jobs =
+      memprof_rate jobs memo_budget =
     if progress then
       Model.Weakener_abd.set_progress
         (Some (fun p -> Fmt.epr "  [mdp] %a@." Mdp.Solver.pp_progress p));
@@ -145,15 +175,16 @@ let solve_cmd =
        | Ok () -> ()
        | Error e -> Fmt.epr "memprof: %s (solving unprofiled)@." e);
     if atomic then begin
-      let v = Model.Weakener_atomic.bad_probability () in
+      let v = Model.Weakener_atomic.bad_probability ?memo_budget () in
       Fmt.pr "weakener with atomic registers:@.";
       Fmt.pr "  adversary-optimal Prob[p2 loops forever] = %.6f@." v;
-      Fmt.pr "  guaranteed termination probability      = %.6f@." (1.0 -. v)
+      Fmt.pr "  guaranteed termination probability      = %.6f@." (1.0 -. v);
+      pp_store_stats_opt Fmt.stdout (Model.Weakener_atomic.store_stats ())
     end
     else begin
       let v =
-        Model.Weakener_abd.bad_probability ~atomic_c:(not abd_c) ~servers ~jobs
-          ~prune ~k ()
+        Model.Weakener_abd.bad_probability ?memo_budget ~atomic_c:(not abd_c)
+          ~servers ~jobs ~prune ~k ()
       in
       let st = Model.Weakener_abd.solver_stats () in
       Fmt.pr "weakener with ABD^%d registers (%d replicas%s):@." k servers
@@ -165,6 +196,7 @@ let solve_cmd =
       Fmt.pr "  solver: %a@." Mdp.Solver.pp_stats st;
       if prune then
         Fmt.pr "  pruned subtrees: %d@." (Model.Weakener_abd.pruned_subtrees ());
+      pp_store_stats_opt Fmt.stdout (Model.Weakener_abd.store_stats ());
       match Model.Weakener_abd.last_par_stats () with
       | Some ps -> Fmt.pr "  %a@." Mdp.Solver.pp_par_stats ps
       | None -> ()
@@ -187,7 +219,7 @@ let solve_cmd =
     Term.(
       const run $ verbosity_term $ k_arg $ atomic_arg $ servers_arg $ abd_c_arg
       $ prune_arg $ progress_arg $ trace_out_arg $ memprof_arg
-      $ memprof_rate_arg $ jobs_term)
+      $ memprof_rate_arg $ jobs_term $ memo_budget_term)
 
 (* ---- figure1 -------------------------------------------------------- *)
 
@@ -353,15 +385,17 @@ let ghw_cmd =
   let k_arg =
     Arg.(value & opt int 1 & info [ "k" ] ~doc:"Preamble iterations for Snapshot^k.")
   in
-  let run () k jobs =
+  let run () k jobs memo_budget =
     Fmt.pr "snapshot weakener, adversary-optimal Prob[bad]:@.";
     Fmt.pr "  atomic snapshot:  %.6f@."
       (Model.Ghw_snapshot_game.atomic_bad_probability ());
     Fmt.pr "  Afek snapshot^%d:  %.6f@." k
-      (Model.Ghw_snapshot_game.afek_bad_probability ~jobs ~k ())
+      (Model.Ghw_snapshot_game.afek_bad_probability ?memo_budget ~jobs ~k ());
+    pp_store_stats_opt Fmt.stdout (Model.Ghw_snapshot_game.store_stats ())
   in
   let doc = "Solve the exact snapshot-weakener game (atomic vs Afek^k)." in
-  Cmd.v (Cmd.info "ghw" ~doc) Term.(const run $ verbosity_term $ k_arg $ jobs_term)
+  Cmd.v (Cmd.info "ghw" ~doc)
+    Term.(const run $ verbosity_term $ k_arg $ jobs_term $ memo_budget_term)
 
 (* ---- trace ---------------------------------------------------------- *)
 

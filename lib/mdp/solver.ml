@@ -108,6 +108,56 @@ let pp_progress ppf p =
 
 let default_progress_interval = 50_000
 
+(* ---- out-of-core memo budget ------------------------------------------
+
+   The switch for the third memo backend: when a budget is armed, solves
+   route their memo through {!Store.Memo} — an in-RAM tier that spills
+   resolved entries to sorted-run segment files once its byte estimate
+   passes the budget. [None] (the default) keeps the plain in-RAM
+   tables and costs nothing. The process-wide default comes from
+   [BLUNTING_MEMO_BUDGET]; per-solve [?memo_budget] arguments override
+   it. *)
+
+let parse_memo_budget s =
+  let s = String.trim s in
+  let len = String.length s in
+  if len = 0 then Error "empty size"
+  else
+    let mult, ndigits =
+      match Char.uppercase_ascii s.[len - 1] with
+      | 'K' -> (1024, len - 1)
+      | 'M' -> (1024 * 1024, len - 1)
+      | 'G' -> (1024 * 1024 * 1024, len - 1)
+      | _ -> (1, len)
+    in
+    match int_of_string_opt (String.sub s 0 ndigits) with
+    | Some n when n >= 0 -> Ok (n * mult)
+    | _ ->
+        Error
+          (Printf.sprintf "invalid size %S (bytes, or a K/M/G suffix)" s)
+
+let default_memo_budget =
+  ref
+    (match Sys.getenv_opt "BLUNTING_MEMO_BUDGET" with
+    | None | Some "" -> None
+    | Some s -> (
+        match parse_memo_budget s with
+        | Ok 0 -> None
+        | Ok n -> Some n
+        | Error e ->
+            Log.warn (fun f -> f "BLUNTING_MEMO_BUDGET ignored: %s" e);
+            None))
+
+let set_default_memo_budget b =
+  default_memo_budget := (match b with Some n when n > 0 -> Some n | _ -> None)
+
+let memo_budget () = !default_memo_budget
+
+(* per-call override beats the process default; <= 0 disables *)
+let effective_budget = function
+  | Some b -> if b > 0 then Some b else None
+  | None -> !default_memo_budget
+
 (* ---- solver instances (shared by both functors) -----------------------
 
    All mutable solver state lives in an instance, so parallel solves can
@@ -126,6 +176,7 @@ type mark = In_progress | Value of float
 type instance = {
   memo : mark Par.Slice_tbl.t;
   keybuf : Key.buf;
+  mutable store : Store.Memo.t option;  (* armed by a memo budget *)
   mutable hits : int;
   mutable misses : int;
   mutable states : int;  (* states memoized with a final Value *)
@@ -141,6 +192,7 @@ let make_instance () =
   {
     memo = Par.Slice_tbl.create ~size:65_536 ();
     keybuf = Key.create ();
+    store = None;
     hits = 0;
     misses = 0;
     states = 0;
@@ -151,6 +203,24 @@ let make_instance () =
     solve_start = Obs.Span.now_us ();
     solve_base_misses = 0;
   }
+
+(* Arm the spillable backend on an instance. Entries already memoized in
+   RAM migrate into the store (a reused instance keeps its cross-solve
+   memoization through the backend switch); [In_progress] marks cannot
+   exist outside a running solve, so only final values move. Once armed
+   the instance stays on the store until [reset] — mixing backends
+   within one memo would split the key space. *)
+let arm_store i budget =
+  match (i.store, budget) with
+  | None, Some b ->
+      let st = Store.Memo.create ~budget:b () in
+      Par.Slice_tbl.iter i.memo (fun key mark ->
+          match mark with
+          | Value v -> Store.Memo.resolve st key v
+          | In_progress -> ());
+      Par.Slice_tbl.clear i.memo;
+      i.store <- Some st
+  | _ -> ()
 
 let stats_of i =
   { states = i.states; memo_hits = i.hits; memo_misses = i.misses;
@@ -182,6 +252,8 @@ let progress_tick i =
 
 let reset_instance i =
   Par.Slice_tbl.clear i.memo;
+  (match i.store with Some st -> Store.Memo.close st | None -> ());
+  i.store <- None;
   i.hits <- 0;
   i.misses <- 0;
   i.states <- 0;
@@ -332,8 +404,22 @@ module Make (G : GAME) = struct
      table) and later overwrites the SAME entry with the value — entries
      survive table growth (growth only re-buckets them), so no second
      lookup. The buffer is dead the moment the probe returns; children
-     clobber it freely. *)
+     clobber it freely.
+
+     With a memo budget armed ([i.store]), the probe goes through
+     {!Store.Memo}'s find-or-claim protocol instead (owner 0; [`Busy 0]
+     is the sequential re-entry, i.e. a cycle). The claim/resolve
+     discipline mirrors the [In_progress]/[Value] overwrite exactly, so
+     hit/miss/state counts — and, the memo holding only fully-evaluated
+     exact values, every computed value — are bit-identical to the
+     in-RAM solve. The unbudgeted path is untouched: one [None] check
+     per probe. *)
   let rec value_at ~prune i depth s =
+    match i.store with
+    | None -> ram_value ~prune i depth s
+    | Some st -> store_value ~prune i st depth s
+
+  and ram_value ~prune i depth s =
     if depth > i.max_depth then i.max_depth <- depth;
     let b = i.keybuf in
     Key.reset b;
@@ -377,6 +463,53 @@ module Make (G : GAME) = struct
             Obs.Ring.record Obs.Ring.Solver_hit e.Par.Slice_tbl.hash depth;
           v
       | In_progress -> raise Cyclic
+
+  and store_value ~prune i st depth s =
+    if depth > i.max_depth then i.max_depth <- depth;
+    let b = i.keybuf in
+    Key.reset b;
+    G.encode_into s b;
+    match
+      Store.Memo.find_or_claim_slice st (Key.data b) ~len:(Key.length b)
+        ~owner:0
+    with
+    | `Value v ->
+        i.hits <- i.hits + 1;
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Solver_hit
+            (Par.Slice_tbl.hash_slice (Key.data b) (Key.length b))
+            depth;
+        v
+    | `Busy _ -> raise Cyclic
+    | `Claimed key ->
+        i.misses <- i.misses + 1;
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Solver_expand
+            (Par.Slice_tbl.hash_string key)
+            depth;
+        progress_tick i;
+        let v =
+          match G.moves s with
+          | [] ->
+              if Obs.Ring.enabled () then
+                Obs.Ring.record Obs.Ring.Solver_terminal
+                  (Par.Slice_tbl.hash_string key)
+                  depth;
+              G.terminal_value s
+          | ms ->
+              fold_value ~prune
+                ~on_prune:(fun () ->
+                  i.prune_cuts <- i.prune_cuts + 1;
+                  if Obs.Ring.enabled () then
+                    Obs.Ring.record Obs.Ring.Solver_prune
+                      (Par.Slice_tbl.hash_string key)
+                      depth)
+                ~child:(fun d s' -> value_at ~prune i d s')
+                depth s ms
+        in
+        Store.Memo.resolve st key v;
+        i.states <- i.states + 1;
+        v
 
   let transition_value i depth = function
     | G.Det s -> value_at ~prune:false i (depth + 1) s
@@ -424,8 +557,14 @@ module Make (G : GAME) = struct
         finish ();
         raise e
 
-  let value ?(prune = false) s =
+  let value ?memo_budget ?(prune = false) s =
+    arm_store default (effective_budget memo_budget);
     root_call default "mdp.value" (fun () -> value_at ~prune default 0 s)
+
+  (* Live out-of-core telemetry: cumulative since the store was armed
+     (parallel and sequential budgeted solves share the instance store),
+     [None] while no budget has armed it. *)
+  let store_stats () = Option.map Store.Memo.stats default.store
 
   let best_move s =
     match G.moves s with
@@ -595,21 +734,33 @@ module Make (G : GAME) = struct
      would wait forever. *)
   exception Abort
 
+  (* The shared-memo surface the workers run against, abstracted over
+     the two backends implementing the same exactly-once claim protocol:
+     the in-RAM {!Par.Sharded_tbl} and, when a memo budget is armed, the
+     spillable {!Store.Memo}. A record of closures instead of a functor
+     keeps the worker recursion single-copy; the indirect call is noise
+     next to the probe it wraps. *)
+  type shared_memo = {
+    sm_probe :
+      Key.buf ->
+      owner:int ->
+      [ `Value of float | `Busy of int | `Claimed of string ];
+    sm_resolve : string -> float -> unit;
+    sm_get : string -> float option;
+  }
+
   (* Worker hot path: encode into the worker's private buffer, probe the
      shared table on the slice. [`Value]/[`Busy] probes allocate nothing;
      only a fresh claim materializes the key (inside the table, which
      hands it back — the buffer will be reused by the children before
      [resolve] needs the key). Ring fingerprints are recomputed from the
      slice only when tracing is on. *)
-  let rec shared_value ~abort ~prune tbl w depth s =
+  let rec shared_value ~abort ~prune sm w depth s =
     if depth > w.w_depth then w.w_depth <- depth;
     let b = w.w_buf in
     Key.reset b;
     G.encode_into s b;
-    match
-      Par.Sharded_tbl.find_or_claim_slice tbl (Key.data b) ~len:(Key.length b)
-        ~owner:w.wid
-    with
+    match sm.sm_probe b ~owner:w.wid with
     | `Value v ->
         w.w_hits <- w.w_hits + 1;
         if Obs.Ring.enabled () then
@@ -623,7 +774,7 @@ module Make (G : GAME) = struct
         if Obs.Ring.enabled () then Obs.Ring.record Obs.Ring.Claim_miss o depth;
         (* the await needs the key after the buffer has been clobbered *)
         let key = Key.contents b in
-        help ~abort ~prune tbl w depth s key
+        help ~abort ~prune sm w depth s key
     | `Claimed key ->
         w.w_misses <- w.w_misses + 1;
         if Obs.Ring.enabled () then
@@ -646,10 +797,10 @@ module Make (G : GAME) = struct
                     Obs.Ring.record Obs.Ring.Solver_prune
                       (Par.Slice_tbl.hash_string key)
                       depth)
-                ~child:(fun d s' -> shared_value ~abort ~prune tbl w d s')
+                ~child:(fun d s' -> shared_value ~abort ~prune sm w d s')
                 depth s ms
         in
-        Par.Sharded_tbl.resolve tbl key v;
+        sm.sm_resolve key v;
         v
 
   (* Another worker owns the claim on [s]. Evaluate [s]'s children
@@ -659,7 +810,7 @@ module Make (G : GAME) = struct
      never computes a value for [s] itself: [s]'s value must come from
      the owner's single [fold_value], or prune-cut folds could disagree
      with it. *)
-  and help ~abort ~prune tbl w depth s key =
+  and help ~abort ~prune sm w depth s key =
     (* the whole helping protocol — evaluating the busy state's children
        plus the await spin — is claim-miss overhead; tag its allocations
        so the profiler can separate it from first-visit expansion *)
@@ -672,15 +823,15 @@ module Make (G : GAME) = struct
           (fun m ->
             match G.apply s m with
             | G.Det s' ->
-                ignore (shared_value ~abort ~prune tbl w (depth + 1) s')
+                ignore (shared_value ~abort ~prune sm w (depth + 1) s')
             | G.Chance dist ->
                 List.iter
                   (fun (_, s') ->
-                    ignore (shared_value ~abort ~prune tbl w (depth + 1) s'))
+                    ignore (shared_value ~abort ~prune sm w (depth + 1) s'))
                   dist)
           ms);
     let rec await probes =
-      match Par.Sharded_tbl.get tbl key with
+      match sm.sm_get key with
       | Some v -> v
       | None ->
           if Atomic.get abort then raise Abort;
@@ -722,10 +873,11 @@ module Make (G : GAME) = struct
     Hashtbl.fold (fun domain_id stats acc -> { domain_id; stats } :: acc) tbl []
     |> List.sort (fun a b -> compare a.domain_id b.domain_id)
 
-  let value_par ?pool ?(prune = false) ~jobs s =
-    if jobs <= 1 then value ~prune s
+  let value_par ?pool ?memo_budget ?(prune = false) ~jobs s =
+    if jobs <= 1 then value ?memo_budget ~prune s
     else
       root_call default "mdp.value_par" @@ fun () ->
+      arm_store default (effective_budget memo_budget);
       let plan, leaves = compile (frontier ~jobs s) in
       let nleaves = Array.length leaves in
       Log.info (fun f -> f "value_par: %d frontier states on %d jobs" nleaves jobs);
@@ -769,7 +921,36 @@ module Make (G : GAME) = struct
         v
       end
       else begin
-        let tbl : float Par.Sharded_tbl.t = Par.Sharded_tbl.create () in
+        (* Workers share one exactly-once memo. Unbudgeted solves get a
+           fresh in-RAM [Par.Sharded_tbl], exactly as before; a budgeted
+           solve runs over the instance's persistent spillable store, and
+           the distinct-state count is the resolved-count delta across
+           the region (the store may carry entries from earlier solves). *)
+        let sm, distinct_after =
+          match default.store with
+          | Some st ->
+              let base = Store.Memo.resolved st in
+              ( {
+                  sm_probe =
+                    (fun b ~owner ->
+                      Store.Memo.find_or_claim_slice st (Key.data b)
+                        ~len:(Key.length b) ~owner);
+                  sm_resolve = Store.Memo.resolve st;
+                  sm_get = Store.Memo.get st;
+                },
+                fun () -> Store.Memo.resolved st - base )
+          | None ->
+              let tbl : float Par.Sharded_tbl.t = Par.Sharded_tbl.create () in
+              ( {
+                  sm_probe =
+                    (fun b ~owner ->
+                      Par.Sharded_tbl.find_or_claim_slice tbl (Key.data b)
+                        ~len:(Key.length b) ~owner);
+                  sm_resolve = Par.Sharded_tbl.resolve tbl;
+                  sm_get = (fun k -> Par.Sharded_tbl.get tbl k);
+                },
+                fun () -> Par.Sharded_tbl.resolved tbl )
+        in
         let deques = Array.init jobs (fun _ -> Par.Deque.create ()) in
         Array.iteri (fun i _ -> Par.Deque.push deques.(i mod jobs) i) leaves;
         let workers =
@@ -795,7 +976,7 @@ module Make (G : GAME) = struct
         let eval_leaf w i =
           Obs.Memprof.set_phase (Some Obs.Memprof.Expand);
           let s, depth = leaves.(i) in
-          values.(i) <- shared_value ~abort ~prune tbl w depth s
+          values.(i) <- shared_value ~abort ~prune sm w depth s
         in
         let worker_loop wid =
           let w = workers.(wid) in
@@ -858,7 +1039,7 @@ module Make (G : GAME) = struct
            once, so the summed misses equal the distinct-state count and
            [stats ()] reports the same explored figure as a sequential
            solve of the same root. *)
-        let distinct = Par.Sharded_tbl.resolved tbl in
+        let distinct = distinct_after () in
         let total = ref 0 in
         Array.iter
           (fun w ->
@@ -946,7 +1127,16 @@ module Make_inplace (G : GAME_INPLACE) = struct
   (* index of the lowest set bit: moves fold in ascending id order *)
   let rec lowest m i = if m land 1 = 1 then i else lowest (m lsr 1) (i + 1)
 
+  (* same backend dispatch as [Make.value_at]: the budgeted path swaps
+     the [In_progress]/[Value] overwrite for the store's claim/resolve,
+     which is the same exactly-once discipline, so counts and values are
+     bit-identical; the unbudgeted path pays one [None] check *)
   let rec value_at ~prune i depth s =
+    match i.store with
+    | None -> ram_value ~prune i depth s
+    | Some st -> store_value ~prune i st depth s
+
+  and ram_value ~prune i depth s =
     if depth > i.max_depth then i.max_depth <- depth;
     let b = i.keybuf in
     Key.reset b;
@@ -982,6 +1172,42 @@ module Make_inplace (G : GAME_INPLACE) = struct
             Obs.Ring.record Obs.Ring.Solver_hit e.Par.Slice_tbl.hash depth;
           v
       | In_progress -> raise Cyclic
+
+  and store_value ~prune i st depth s =
+    if depth > i.max_depth then i.max_depth <- depth;
+    let b = i.keybuf in
+    Key.reset b;
+    G.encode_into s b;
+    match
+      Store.Memo.find_or_claim_slice st (Key.data b) ~len:(Key.length b)
+        ~owner:0
+    with
+    | `Value v ->
+        i.hits <- i.hits + 1;
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Solver_hit
+            (Par.Slice_tbl.hash_slice (Key.data b) (Key.length b))
+            depth;
+        v
+    | `Busy _ -> raise Cyclic
+    | `Claimed key ->
+        i.misses <- i.misses + 1;
+        let h = Par.Slice_tbl.hash_string key in
+        if Obs.Ring.enabled () then
+          Obs.Ring.record Obs.Ring.Solver_expand h depth;
+        progress_tick i;
+        let mask = G.moves s in
+        let v =
+          if mask = 0 then begin
+            if Obs.Ring.enabled () then
+              Obs.Ring.record Obs.Ring.Solver_terminal h depth;
+            G.terminal_value s
+          end
+          else fold_moves ~prune i depth s mask h
+        in
+        Store.Memo.resolve st key v;
+        i.states <- i.states + 1;
+        v
 
   (* do-move / recurse / restore: the only state "copy" is the journal
      entries the move itself writes *)
@@ -1076,7 +1302,8 @@ module Make_inplace (G : GAME_INPLACE) = struct
     in
     go neg_infinity mask0
 
-  let value ?(prune = false) s =
+  let value ?memo_budget ?(prune = false) s =
+    arm_store default (effective_budget memo_budget);
     default.solve_start <- Obs.Span.now_us ();
     default.solve_base_misses <- default.misses;
     let before = stats_of default in
@@ -1099,6 +1326,7 @@ module Make_inplace (G : GAME_INPLACE) = struct
         finish ();
         raise e
 
+  let store_stats () = Option.map Store.Memo.stats default.store
   let explored () = default.states
   let pruned_subtrees () = default.prune_cuts
   let reset () = reset_instance default

@@ -176,6 +176,34 @@ val default_progress_interval : int
     values and the chosen move (via the game's [pp_move]) at debug. *)
 val log_src : Logs.src
 
+(** {2 Out-of-core memo budget}
+
+    A solve given a memo budget (per-call [?memo_budget], or the
+    process default below) runs its memo through {!Store.Memo}: an
+    exactly-once claim/resolve table whose resolved entries spill to
+    sorted-run segment files once the in-RAM tier passes the budget,
+    probed back through a per-shard LRU block cache. The discipline
+    mirrors the in-RAM memo's exactly, so budgeted solves return
+    bit-identical values and identical hit/miss/state counts — only
+    peak memory and wall time change. Games that fit in budget never
+    touch the disk (no file is even created). Once armed, an instance
+    stays on the store — accumulating cross-solve memoization like the
+    in-RAM table — until its [reset]. *)
+
+(** [parse_memo_budget s] parses a byte count with an optional K/M/G
+    (binary) suffix, as accepted by [--memo-budget] and
+    [BLUNTING_MEMO_BUDGET]. [Ok 0] means "no budget". *)
+val parse_memo_budget : string -> (int, string) result
+
+(** [set_default_memo_budget b] sets the process-wide default budget
+    applied when a solve passes no [?memo_budget] ([None] or [Some 0]
+    and below disable it). Initialized from [BLUNTING_MEMO_BUDGET] at
+    startup. *)
+val set_default_memo_budget : int option -> unit
+
+(** [memo_budget ()] is the current process-wide default. *)
+val memo_budget : unit -> int option
+
 module Make (G : GAME) : sig
   (** [value ?prune s] is the optimal (adversary-maximal) probability from
       [s]. With [~prune:true], chance-node children whose interval upper
@@ -186,8 +214,12 @@ module Make (G : GAME) : sig
       the admissibility requirement), but fewer states are explored, so
       [explored ()] may be smaller. Only fully-evaluated state values
       enter the memo, so pruned and unpruned solves may share an
-      instance. *)
-  val value : ?prune:bool -> G.state -> float
+      instance.
+
+      [?memo_budget] (or the process default) runs the memo
+      out-of-core — see the "Out-of-core memo budget" section above;
+      values and counts stay bit-identical. *)
+  val value : ?memo_budget:int -> ?prune:bool -> G.state -> float
 
   (** [value_par ?pool ?prune ~jobs s] is [value s] computed by [jobs]
       cooperating workers over one shared sharded memo
@@ -217,8 +249,20 @@ module Make (G : GAME) : sig
       [Solver_expand] (claim won, evaluation begins), [Claim_hit]
       (probe answered by a resolved value), [Claim_miss] (probe hit a
       live claim; helping begins), [Steal] (successful deque steal) and
-      [Solver_prune] (interval cut) events into their domains' rings. *)
-  val value_par : ?pool:Par.Pool.t -> ?prune:bool -> jobs:int -> G.state -> float
+      [Solver_prune] (interval cut) events into their domains' rings.
+
+      With a memo budget armed, the workers share the instance's
+      spillable {!Store.Memo} instead of a fresh in-RAM table — same
+      claim protocol, same bit-identical result; [Store_spill],
+      [Store_cache_hit]/[Store_cache_miss] and [Store_evict] events
+      additionally land in the rings. *)
+  val value_par :
+    ?pool:Par.Pool.t ->
+    ?memo_budget:int ->
+    ?prune:bool ->
+    jobs:int ->
+    G.state ->
+    float
 
   (** [last_par_stats ()] is the cross-domain telemetry of the most recent
       [value_par] on this instance — [None] before the first, after
@@ -236,6 +280,11 @@ module Make (G : GAME) : sig
 
   (** [stats ()] is this instance's work since the last [reset]. *)
   val stats : unit -> stats
+
+  (** [store_stats ()] is the out-of-core backend's cumulative telemetry
+      (spills, block-cache traffic, amplification inputs) since a memo
+      budget armed it — [None] while the instance is purely in-RAM. *)
+  val store_stats : unit -> Store.Memo.stats option
 
   (** {2 Interval pruning}
 
@@ -298,12 +347,16 @@ end
     would need a working state per domain; use {!Make.value_par} for
     that. *)
 module Make_inplace (G : GAME_INPLACE) : sig
-  (** [value ?prune s] — see {!Make.value}. [s] is mutated during the
-      solve and restored (journal-exactly) before returning. *)
-  val value : ?prune:bool -> G.state -> float
+  (** [value ?memo_budget ?prune s] — see {!Make.value}. [s] is mutated
+      during the solve and restored (journal-exactly) before
+      returning. *)
+  val value : ?memo_budget:int -> ?prune:bool -> G.state -> float
 
   val explored : unit -> int
   val stats : unit -> stats
+
+  (** See {!Make.store_stats}. *)
+  val store_stats : unit -> Store.Memo.stats option
   val set_bounds : lo:float -> hi:float -> unit
   val bounds : unit -> float * float
   val set_prune_audit : bool -> unit

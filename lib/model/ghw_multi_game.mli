@@ -34,7 +34,12 @@ val atomic_bad_probability : unit -> float
 
 (** Adversary-optimal bad probability with [Afek Snapshot^k]. [jobs]
     (default 1) solves the root frontier on that many domains. *)
-val afek_bad_probability : ?pool:Par.Pool.t -> ?jobs:int -> k:int -> unit -> float
+val afek_bad_probability :
+  ?pool:Par.Pool.t -> ?memo_budget:int -> ?jobs:int -> k:int -> unit -> float
+
+(** [store_stats ()] — out-of-core memo telemetry once a [memo_budget]
+    armed it (see {!Mdp.Solver.Make.store_stats}). *)
+val store_stats : unit -> Store.Memo.stats option
 
 val explored_states : unit -> int
 val reset : unit -> unit

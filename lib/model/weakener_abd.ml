@@ -447,10 +447,11 @@ let init ?(atomic_c = true) ?(servers = 3) ~k () : Game.state =
     cread = None;
   }
 
-let bad_probability ?pool ?(atomic_c = true) ?(servers = 3) ?(jobs = 1)
-    ?(prune = false) ~k () =
-  S.value_par ?pool ~prune ~jobs (init ~atomic_c ~servers ~k ())
+let bad_probability ?pool ?memo_budget ?(atomic_c = true) ?(servers = 3)
+    ?(jobs = 1) ?(prune = false) ~k () =
+  S.value_par ?pool ?memo_budget ~prune ~jobs (init ~atomic_c ~servers ~k ())
 let best_move = S.best_move
+let store_stats () = S.store_stats ()
 let explored_states () = S.explored ()
 let pruned_subtrees () = S.pruned_subtrees ()
 let reset () = S.reset ()

@@ -46,9 +46,13 @@ val init : ?atomic_c:bool -> ?servers:int -> k:k -> unit -> Game.state
     domains via {!Mdp.Solver.Make.value_par}; the value is bit-identical
     at every job count. [prune] (default [false]) enables the Theorem 4.2
     interval branch-and-bound cuts ({!Mdp.Solver.Make.value}'s [~prune]);
-    the value is unchanged, the explored set only shrinks. *)
+    the value is unchanged, the explored set only shrinks.
+    [memo_budget] (or [BLUNTING_MEMO_BUDGET]) caps the memo's RAM,
+    spilling resolved states to disk past it — values and counts stay
+    bit-identical (see the solver's out-of-core section). *)
 val bad_probability :
   ?pool:Par.Pool.t ->
+  ?memo_budget:int ->
   ?atomic_c:bool ->
   ?servers:int ->
   ?jobs:int ->
@@ -78,6 +82,11 @@ val reset : unit -> unit
     (states, memo hits/misses, max depth) since the last [reset] — the
     cost side of the cost-vs-[k] trade-off reported by the bench harness. *)
 val solver_stats : unit -> Mdp.Solver.stats
+
+(** [store_stats ()] is the out-of-core memo's telemetry once a
+    [memo_budget] armed it — [None] on purely in-RAM solves (see
+    {!Mdp.Solver.Make.store_stats}). *)
+val store_stats : unit -> Store.Memo.stats option
 
 (** [last_par_stats ()] is the per-domain and cross-domain telemetry of
     the most recent parallel [bad_probability] (see

@@ -82,5 +82,6 @@ let init : Game.state =
     cread = None;
   }
 
-let bad_probability () = S.value init
+let bad_probability ?memo_budget () = S.value ?memo_budget init
+let store_stats () = S.store_stats ()
 let explored_states () = S.explored ()

@@ -220,15 +220,19 @@ let init ~k : Game.state =
    follow whichever engine solved last. *)
 let last_inplace = ref false
 
-let bad_probability ?pool ?(jobs = 1) ~k () =
+let bad_probability ?pool ?memo_budget ?(jobs = 1) ~k () =
   if jobs <= 1 then begin
     last_inplace := true;
-    Weakener_va_packed.bad_probability ~k ()
+    Weakener_va_packed.bad_probability ?memo_budget ~k ()
   end
   else begin
     last_inplace := false;
-    S.value_par ?pool ~jobs (init ~k)
+    S.value_par ?pool ?memo_budget ~jobs (init ~k)
   end
+
+let store_stats () =
+  if !last_inplace then Weakener_va_packed.store_stats ()
+  else S.store_stats ()
 
 let explored_states () =
   if !last_inplace then Weakener_va_packed.explored_states ()

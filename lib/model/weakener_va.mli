@@ -30,7 +30,12 @@ val init : k:int -> Game.state
     presentation ({!Weakener_va_packed} via
     {!Mdp.Solver.Make_inplace}) — same value, same stats, no per-edge
     successor allocation. *)
-val bad_probability : ?pool:Par.Pool.t -> ?jobs:int -> k:int -> unit -> float
+val bad_probability :
+  ?pool:Par.Pool.t -> ?memo_budget:int -> ?jobs:int -> k:int -> unit -> float
+
+(** [store_stats ()] — the out-of-core memo's telemetry when a
+    [memo_budget] armed it, from whichever engine solved last. *)
+val store_stats : unit -> Store.Memo.stats option
 
 val explored_states : unit -> int
 val reset : unit -> unit

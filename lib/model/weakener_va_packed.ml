@@ -366,7 +366,10 @@ let copy (s : Game.state) : Game.state =
 let equal (a : Game.state) (b : Game.state) =
   a.Game.k = b.Game.k && a.Game.cells = b.Game.cells
 
-let bad_probability ?prune ~k () = S.value ?prune (init ~k)
+let bad_probability ?memo_budget ?prune ~k () =
+  S.value ?memo_budget ?prune (init ~k)
+
+let store_stats () = S.store_stats ()
 let explored_states () = S.explored ()
 let reset () = S.reset ()
 let solver_stats () = S.stats ()

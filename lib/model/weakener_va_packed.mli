@@ -30,7 +30,10 @@ val equal : Game.state -> Game.state -> bool
 (** [bad_probability ?prune ~k ()] is the exact adversary-optimal
     probability that [p2] loops forever with [VA^k] registers —
     bit-identical to [Weakener_va.bad_probability ~jobs:1 ~k ()]. *)
-val bad_probability : ?prune:bool -> k:int -> unit -> float
+val bad_probability : ?memo_budget:int -> ?prune:bool -> k:int -> unit -> float
+
+(** See {!Mdp.Solver.Make_inplace.store_stats}. *)
+val store_stats : unit -> Store.Memo.stats option
 
 val explored_states : unit -> int
 val reset : unit -> unit

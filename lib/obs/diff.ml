@@ -68,6 +68,11 @@ let is_soft_key k =
   || has "domain" || has "duplicat" || has "queue" || has "par_solve"
   || has "utilization" || has "speedup" || has "steal" || has "claim"
   || has "prune"
+  (* out-of-core store telemetry: run/eviction/cache-traffic counts move
+     with the budget and, under jobs > 1, with the worker schedule; the
+     solved values and distinct-state counts stay hard keys *)
+  || has "spill" || has "evict" || has "amplification" || has "disk_hit"
+  || has "cache" || has "budget"
 
 let rel_drift ~from ~to_ =
   if from = to_ then 0.0
@@ -332,7 +337,11 @@ let speedup_findings cfg csec =
    a given compiler, unlike wall time, so a hard gate is sound here.
    Like --min-speedup, the check fails loudly when it finds nothing to
    compare: a gated CI leg that silently skipped would defeat its
-   purpose. *)
+   purpose. Sections present only in the CURRENT document (added after
+   the baseline was recorded, like a new store section) get a Warn, not
+   a Fail — there is nothing to compare them against, and they count as
+   the gate having engaged, so they don't trip the nothing-compared
+   failure either. *)
 let alloc_findings cfg bsec csec =
   match cfg.max_alloc_ratio with
   | None -> []
@@ -397,7 +406,28 @@ let alloc_findings cfg bsec csec =
                     else None))
           bsec
       in
-      if !compared = 0 then
+      let new_section_findings =
+        List.filter_map
+          (fun (id, cs) ->
+            if List.mem_assoc id bsec then None
+            else
+              match words_per_unit cs with
+              | None -> None
+              | Some (to_, unit_) ->
+                  Some
+                    {
+                      severity = Warn;
+                      section = Some id;
+                      subject = "alloc_ratio";
+                      detail =
+                        Fmt.str
+                          "section absent from baseline — %s %a not gated \
+                           (re-record the baseline to cover it)"
+                          unit_ pp_num to_;
+                    })
+          csec
+      in
+      if !compared = 0 && new_section_findings = [] then
         [
           {
             severity = Fail;
@@ -408,7 +438,7 @@ let alloc_findings cfg bsec csec =
                gc.minor_words in both documents";
           };
         ]
-      else findings
+      else findings @ new_section_findings
 
 (* Per-row speedup surfacing, always on: every "*_speedup_timing" metric
    in the CURRENT document's PAR section lands in the human summary —

@@ -1,13 +1,14 @@
-let schema_version = 5
+let schema_version = 6
 
 (* v1 documents (no per-span "gc", no histogram percentiles), v2
    documents (no PAR per-domain telemetry), v3 documents (no
-   work-stealing counters) and v4 documents (no allocation profile)
-   remain valid: older BENCH_*.json baselines must stay loadable by the
-   differ. v3/v4 only add optional section-metric fields and v5 only an
-   optional top-level "allocation_profile" block, so the validator body
-   is shared. *)
-let accepted_versions = [ 1; 2; 3; 4; 5 ]
+   work-stealing counters), v4 documents (no allocation profile) and v5
+   documents (no out-of-core store telemetry) remain valid: older
+   BENCH_*.json baselines must stay loadable by the differ. v3/v4 only
+   add optional section-metric fields, v5 only an optional top-level
+   "allocation_profile" block and v6 only an optional top-level "store"
+   block, so the validator body is shared. *)
+let accepted_versions = [ 1; 2; 3; 4; 5; 6 ]
 
 type row = {
   quantity : string;
@@ -67,6 +68,14 @@ let span_to_json (s : Span.span) =
       ("gc", Gc_stats.to_json s.gc);
     ]
 
+(* v6: the out-of-core memo's telemetry, set by whoever ran a budgeted
+   solve (this module cannot depend on the store library — the store
+   records into [Ring], so the dependency runs the other way). Absent
+   from purely in-RAM runs, keeping their documents structurally
+   identical to v5. *)
+let store_block : Json.t option ref = ref None
+let set_store_block j = store_block := Some j
+
 let to_json t =
   Gc_stats.publish_gauges ();
   (* v5: present only when a Memprof session ran, so unprofiled documents
@@ -75,6 +84,9 @@ let to_json t =
     match Memprof.profile () with
     | Some p -> [ ("allocation_profile", Memprof.to_json p) ]
     | None -> []
+  in
+  let store =
+    match !store_block with Some s -> [ ("store", s) ] | None -> []
   in
   Json.Obj
     ([
@@ -85,7 +97,7 @@ let to_json t =
        ("metrics", Metrics.snapshot ());
        ("spans", Json.List (List.map span_to_json (Span.spans ())));
      ]
-    @ allocation_profile)
+    @ allocation_profile @ store)
 
 let write t ~path = Json.write_file path (to_json t)
 
@@ -199,6 +211,25 @@ let validate_allocation_profile j =
         ]
   | Some _ -> Error "allocation_profile must be an object"
 
+(* v6's optional block: the counters a spill/recovery gate asserts on
+   must be numbers; extra fields stay legal for forward compatibility. *)
+let validate_store j =
+  match field j "store" with
+  | None -> Ok ()
+  | Some (Json.Obj _ as s) ->
+      check_all
+        (List.map
+           (fun name ->
+             match Option.bind (field s name) Json.to_number_opt with
+             | Some _ -> Ok ()
+             | None -> Error (Printf.sprintf "store.%s must be a number" name))
+           [
+             "budget_bytes"; "spilled_entries"; "spill_runs"; "bytes_spilled";
+             "evictions"; "cache_hits"; "cache_misses"; "cache_hit_rate";
+             "read_amplification"; "write_amplification"; "disk_hits";
+           ])
+  | Some _ -> Error "store must be an object"
+
 let validate j =
   match j with
   | Json.Obj _ ->
@@ -219,5 +250,6 @@ let validate j =
       let* () = validate_metrics_snapshot metrics in
       let* () = check_list j ~ctx:"document" "spans" validate_span in
       let* () = validate_allocation_profile j in
+      let* () = validate_store j in
       Ok ()
   | _ -> Error "document must be a JSON object"

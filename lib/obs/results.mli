@@ -11,7 +11,7 @@
 
     Schema (version {!schema_version}):
     {v
-    { "schema_version": 5,
+    { "schema_version": 6,
       "generated_by": "<tool>",
       "generated_at_unix": <float>,
       "experiments": [
@@ -40,10 +40,16 @@
     ["allocation_profile"] object ({!Memprof.to_json}: sampling rate,
     sampled/estimated word counts, the allocation-site table with
     per-section/per-phase/per-domain rollups), emitted only when an
-    {!Memprof} session ran during the producing process. [validate]
-    accepts v1–v5 documents — saved baselines must stay loadable — and
-    is shared by the smoke schema checker, the differ and the test
-    suite, so the schema cannot silently drift from its validator. *)
+    {!Memprof} session ran during the producing process. v6 added an
+    optional top-level ["store"] object — the out-of-core memo's
+    telemetry ([budget_bytes], [spilled_entries], [spill_runs],
+    [bytes_spilled], [evictions], [cache_hits]/[cache_misses]/
+    [cache_hit_rate], [read_amplification], [write_amplification],
+    [disk_hits], all numbers), installed via [set_store_block] by
+    whichever harness ran a budgeted solve. [validate] accepts v1–v6
+    documents — saved baselines must stay loadable — and is shared by
+    the smoke schema checker, the differ and the test suite, so the
+    schema cannot silently drift from its validator. *)
 
 (** The version written by [to_json]; [validate] also accepts earlier
     versions (see [accepted_versions] in the implementation). *)
@@ -75,6 +81,12 @@ val row :
 (** [add_section_metrics section kvs] merges free-form metrics (solver
     stats, trial counts, ...) into the section's [metrics] object. *)
 val add_section_metrics : section -> (string * Json.t) list -> unit
+
+(** [set_store_block j] installs the v6 out-of-core store telemetry
+    object, included in every subsequent [to_json]. Process-global, like
+    the {!Metrics} snapshot: the store library cannot be depended on
+    from here, so the producer hands the rendered block over. *)
+val set_store_block : Json.t -> unit
 
 (** [to_json t] renders the document, snapshotting {!Metrics} and {!Span}
     at call time. *)

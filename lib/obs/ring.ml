@@ -20,6 +20,10 @@ type tag =
   | Claim_hit
   | Claim_miss
   | Alloc_sample
+  | Store_spill
+  | Store_cache_hit
+  | Store_cache_miss
+  | Store_evict
 
 (* Wire codes are part of the dump format: append only, never renumber. *)
 let tag_code = function
@@ -44,6 +48,10 @@ let tag_code = function
   | Claim_hit -> 18
   | Claim_miss -> 19
   | Alloc_sample -> 20
+  | Store_spill -> 21
+  | Store_cache_hit -> 22
+  | Store_cache_miss -> 23
+  | Store_evict -> 24
 
 let all_tags =
   [
@@ -51,6 +59,7 @@ let all_tags =
     Pool_task_stop; Pool_idle_start; Pool_idle_stop; Pool_queue_depth;
     Sim_step; Sim_deliver; Sim_crash; Adv_decision; Gc_minor; Gc_major;
     Domain_spawn; Domain_stop; Steal; Claim_hit; Claim_miss; Alloc_sample;
+    Store_spill; Store_cache_hit; Store_cache_miss; Store_evict;
   ]
 
 let tag_of_code c = List.find_opt (fun t -> tag_code t = c) all_tags
@@ -77,6 +86,10 @@ let tag_name = function
   | Claim_hit -> "claim_hit"
   | Claim_miss -> "claim_miss"
   | Alloc_sample -> "alloc_sample"
+  | Store_spill -> "store_spill"
+  | Store_cache_hit -> "store_cache_hit"
+  | Store_cache_miss -> "store_cache_miss"
+  | Store_evict -> "store_evict"
 
 (* ---- per-domain rings ------------------------------------------------ *)
 
@@ -156,7 +169,8 @@ let record tag a b =
     let i = r.next land r.mask in
     let ts =
       match tag with
-      | (Solver_expand | Solver_hit | Solver_terminal | Claim_hit | Claim_miss)
+      | ( Solver_expand | Solver_hit | Solver_terminal | Claim_hit | Claim_miss
+        | Store_cache_hit | Store_cache_miss )
         when r.next land ts_stride_mask <> 0 ->
           r.last_ts
       | _ ->
@@ -502,6 +516,15 @@ let chrome_domain_events ~pid d =
       | Alloc_sample ->
           instant "alloc_sample"
             [ ("site", Json.Int e.a); ("words", Json.Int e.b) ]
+      | Store_spill ->
+          instant "store_spill"
+            [ ("entries", Json.Int e.a); ("bytes", Json.Int e.b) ]
+      | Store_cache_hit | Store_cache_miss ->
+          instant (tag_name e.tag)
+            [ ("shard", Json.Int e.a); ("block", Json.Int e.b) ]
+      | Store_evict ->
+          instant "store_evict"
+            [ ("shard", Json.Int e.a); ("block", Json.Int e.b) ]
       | Sim_step | Sim_deliver | Sim_crash ->
           instant (tag_name e.tag) [ ("id", Json.Int e.a) ]
       | Domain_spawn | Domain_stop ->

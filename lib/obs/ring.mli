@@ -54,7 +54,13 @@
     - [Alloc_sample]: a statistical allocation sample from
       {!Obs.Memprof} ([a] = allocation-site hash as in the results
       document's ["allocation_profile"] [site_hash] fields,
-      [b] = sampled block size in words). *)
+      [b] = sampled block size in words);
+    - out-of-core memo store events: [Store_spill] is one sorted run
+      written to a shard's segment file ([a] = entries written,
+      [b] = bytes, header and padding included); [Store_cache_hit]/
+      [Store_cache_miss] are block-cache probes ([a] = shard id,
+      [b] = block index); [Store_evict] is an unpinned block leaving
+      the cache ([a] = shard id, [b] = block index). *)
 type tag =
   | Solver_expand
   | Solver_hit
@@ -77,6 +83,10 @@ type tag =
   | Claim_hit
   | Claim_miss
   | Alloc_sample
+  | Store_spill
+  | Store_cache_hit
+  | Store_cache_miss
+  | Store_evict
 
 (** Stable wire codes for dump files: [tag_code] is injective and
     [tag_of_code (tag_code t) = Some t]. *)
@@ -103,8 +113,8 @@ val set_capacity : int -> unit
 (** [record tag a b] appends an event to the calling domain's ring; a
     no-op (one atomic load) when disabled. Solver memo-probe tags
     ([Solver_expand]/[Solver_hit]/[Solver_terminal]/[Claim_hit]/
-    [Claim_miss]) reuse a cached timestamp refreshed at least every 64
-    events — they fire millions of
+    [Claim_miss]/[Store_cache_hit]/[Store_cache_miss]) reuse a cached
+    timestamp refreshed at least every 64 events — they fire millions of
     times per solve and the clock read dominates the record cost; all
     other tags (interval and decision events) always read the clock.
     Timestamps stay non-decreasing within a ring either way. *)

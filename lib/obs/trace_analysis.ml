@@ -8,6 +8,11 @@ type domain_report = {
   claim_misses : int;
   steals : int;
   pruned : int;
+  spills : int;
+  spill_bytes : int;
+  store_cache_hits : int;
+  store_cache_misses : int;
+  store_evictions : int;
   alloc_samples : int;
   alloc_words : int;
   hit_rate : float;
@@ -147,6 +152,8 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
         let hits = ref 0 and misses = ref 0 in
         let c_hits = ref 0 and c_misses = ref 0 in
         let steals = ref 0 and pruned = ref 0 in
+        let spills = ref 0 and spill_bytes = ref 0 in
+        let s_hits = ref 0 and s_misses = ref 0 and s_evicts = ref 0 in
         let a_samples = ref 0 and a_words = ref 0 in
         let pending_decision = ref false in
         List.iter
@@ -170,6 +177,13 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
                 incr c_misses
             | Ring.Steal -> incr steals
             | Ring.Solver_prune -> incr pruned
+            | Ring.Store_spill ->
+                (* [a] = entries in the run, [b] = run bytes on disk *)
+                incr spills;
+                spill_bytes := !spill_bytes + e.b
+            | Ring.Store_cache_hit -> incr s_hits
+            | Ring.Store_cache_miss -> incr s_misses
+            | Ring.Store_evict -> incr s_evicts
             | Ring.Alloc_sample ->
                 incr a_samples;
                 a_words := !a_words + e.b;
@@ -227,6 +241,11 @@ let analyze ?(top = 10) ?(buckets = 20) (d : Ring.dump) =
           claim_misses = !c_misses;
           steals = !steals;
           pruned = !pruned;
+          spills = !spills;
+          spill_bytes = !spill_bytes;
+          store_cache_hits = !s_hits;
+          store_cache_misses = !s_misses;
+          store_evictions = !s_evicts;
           alloc_samples = !a_samples;
           alloc_words = !a_words;
           hit_rate =
@@ -365,6 +384,22 @@ let pp ppf t =
         (if c_misses = 1 then "" else "es")
         pruned
         (if pruned = 1 then "" else "s");
+    let spills = sum (fun (d : domain_report) -> d.spills)
+    and spill_bytes = sum (fun (d : domain_report) -> d.spill_bytes)
+    and s_hits = sum (fun (d : domain_report) -> d.store_cache_hits)
+    and s_misses = sum (fun (d : domain_report) -> d.store_cache_misses)
+    and s_evicts = sum (fun (d : domain_report) -> d.store_evictions) in
+    if spills + s_hits + s_misses + s_evicts > 0 then
+      Fmt.pf ppf
+        "@,out-of-core store: %d spill run%s (%d B), block cache %d/%d hits \
+         (%.1f%%), %d eviction%s@,"
+        spills
+        (if spills = 1 then "" else "s")
+        spill_bytes s_hits (s_hits + s_misses)
+        (if s_hits + s_misses = 0 then 0.0
+         else 100.0 *. float_of_int s_hits /. float_of_int (s_hits + s_misses))
+        s_evicts
+        (if s_evicts = 1 then "" else "s");
     let a_samples = sum (fun (d : domain_report) -> d.alloc_samples)
     and a_words = sum (fun (d : domain_report) -> d.alloc_words) in
     if a_samples > 0 then begin
@@ -435,6 +470,11 @@ let to_json t =
         ("claim_misses", Json.Int d.claim_misses);
         ("steals", Json.Int d.steals);
         ("pruned", Json.Int d.pruned);
+        ("spills", Json.Int d.spills);
+        ("spill_bytes", Json.Int d.spill_bytes);
+        ("store_cache_hits", Json.Int d.store_cache_hits);
+        ("store_cache_misses", Json.Int d.store_cache_misses);
+        ("store_evictions", Json.Int d.store_evictions);
         ("alloc_samples", Json.Int d.alloc_samples);
         ("alloc_words", Json.Int d.alloc_words);
         ("hit_rate", Json.Float d.hit_rate);

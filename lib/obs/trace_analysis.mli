@@ -25,6 +25,11 @@ type domain_report = {
   claim_misses : int;  (** probes of a live claim ([Claim_miss], helping) *)
   steals : int;  (** successful deque steals ([Steal]) *)
   pruned : int;  (** interval cuts ([Solver_prune]) *)
+  spills : int;  (** out-of-core sorted runs written ([Store_spill]) *)
+  spill_bytes : int;  (** bytes those runs occupy on disk *)
+  store_cache_hits : int;  (** block-cache hits ([Store_cache_hit]) *)
+  store_cache_misses : int;  (** block-cache misses ([Store_cache_miss]) *)
+  store_evictions : int;  (** blocks evicted from the cache ([Store_evict]) *)
   alloc_samples : int;  (** {!Obs.Memprof} samples ([Alloc_sample]) *)
   alloc_words : int;  (** sampled allocation words on this domain *)
   hit_rate : float;

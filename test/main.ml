@@ -20,6 +20,7 @@ let () =
       ("par", Test_par.tests);
       ("solver-inplace", Test_inplace.tests);
       ("solver-par", Test_solver_par.tests);
+      ("store", Test_store.tests);
       ("obs", Test_obs.tests);
       ("obs-ring", Test_ring.tests);
       ("obs-memprof", Test_memprof.tests);

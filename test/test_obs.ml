@@ -402,7 +402,7 @@ let test_results_schema () =
    versions — must still validate, while unknown future versions stay
    rejected. *)
 let test_schema_version_compat () =
-  Alcotest.(check int) "current schema version" 5 Obs.Results.schema_version;
+  Alcotest.(check int) "current schema version" 6 Obs.Results.schema_version;
   let minimal_doc v =
     Obs.Json.Obj
       [
@@ -434,8 +434,8 @@ let test_schema_version_compat () =
       match Obs.Results.validate (minimal_doc v) with
       | Ok () -> ()
       | Error e -> Alcotest.failf "v%d document rejected: %s" v e)
-    [ 1; 2; 3; 4; 5 ];
-  match Obs.Results.validate (minimal_doc 6) with
+    [ 1; 2; 3; 4; 5; 6 ];
+  match Obs.Results.validate (minimal_doc 7) with
   | Ok () -> Alcotest.fail "future schema version accepted"
   | Error _ -> ()
 
